@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Validates the paper's argument (Sections 1.1 and 6) that SMT-style
+ * resource partitioning does not help SOE fairness: "SOE maintains a
+ * single active thread in the pipeline. Hence, resource partitioning
+ * will not improve fairness."
+ *
+ * Static partitioning on an SOE core means each thread sees half of
+ * every pipeline structure while the other half sits idle. We run
+ * the canonical unfair pair on the full machine and on a
+ * half-structures machine: fairness stays as bad (the active thread
+ * still runs until its miss), and throughput only drops. The
+ * mechanism at F=1/2 on the full machine dominates both.
+ */
+
+#include <iostream>
+
+#include "core/metrics.hh"
+#include "harness/machine_config.hh"
+#include "harness/runner.hh"
+#include "harness/sweep.hh"
+#include "harness/table.hh"
+#include "soe/policies.hh"
+
+using namespace soefair;
+using namespace soefair::harness;
+using harness::TextTable;
+
+namespace
+{
+
+MachineConfig
+halved()
+{
+    MachineConfig mc = MachineConfig::benchDefault();
+    mc.core.robEntries /= 2;
+    mc.core.iqEntries /= 2;
+    mc.core.lqEntries /= 2;
+    mc.core.sqEntries /= 2;
+    mc.core.sbEntries /= 2;
+    return mc;
+}
+
+} // namespace
+
+int
+main()
+{
+    RunConfig rc = RunConfig::fromEnv();
+    const std::vector<ThreadSpec> specs = {
+        ThreadSpec::benchmark("gcc", pairSeed(0)),
+        ThreadSpec::benchmark("eon", pairSeed(0))};
+
+    std::cout << "Ablation: SMT-style static resource partitioning "
+              << "on an SOE core (gcc:eon)\n\n";
+    TextTable t({"configuration", "ipc total", "fairness"});
+
+    auto addRow = [&](const char *label, const MachineConfig &mc,
+                      soe::SchedulingPolicy &policy) {
+        Runner runner(mc);
+        std::cerr << "[part] " << label << " references...\n";
+        auto stA = runner.runSingleThread(specs[0], rc);
+        auto stB = runner.runSingleThread(specs[1], rc);
+        std::cerr << "[part] " << label << " SOE...\n";
+        auto res = runner.runSoe(specs, policy, rc);
+        const double fair = core::fairnessOfSpeedups(
+            {res.threads[0].ipc / stA.ipc,
+             res.threads[1].ipc / stB.ipc});
+        t.addRow({label, TextTable::num(res.ipcTotal, 3),
+                  TextTable::num(fair, 3)});
+    };
+
+    soe::MissOnlyPolicy plainA;
+    addRow("full structures, F=0", MachineConfig::benchDefault(),
+           plainA);
+    soe::MissOnlyPolicy plainB;
+    addRow("halved structures (partitioned), F=0", halved(), plainB);
+    soe::FairnessPolicy fairPol(0.5, 300.0, 2);
+    addRow("full structures, mechanism F=1/2",
+           MachineConfig::benchDefault(), fairPol);
+
+    t.print(std::cout);
+    std::cout << "\nExpected shape: partitioning leaves F=0 fairness "
+              << "essentially unchanged (the\nactive thread still "
+              << "monopolizes the core between its misses) while "
+              << "costing\nthroughput; only the switch-point "
+              << "mechanism moves fairness — the paper's\nargument "
+              << "for handling SOE fairness at the architectural "
+              << "level.\n";
+    return 0;
+}

@@ -1,0 +1,74 @@
+#include "eval_common.hh"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace soefair
+{
+namespace bench
+{
+
+using namespace harness;
+
+namespace
+{
+
+constexpr const char *cacheFile = "soefair_eval_cache.txt";
+constexpr const char *cacheVersion = "soefair-eval-v1";
+
+std::string
+configKey()
+{
+    const RunConfig rc = evalRunConfig();
+    const MachineConfig mc = evalMachine();
+    std::ostringstream os;
+    os << cacheVersion << " measure=" << rc.measureInstrs
+       << " warm=" << rc.warmupInstrs
+       << " twarm=" << rc.timingWarmInstrs
+       << " delta=" << mc.soe.delta
+       << " quota=" << mc.soe.maxCyclesQuota;
+    return os.str();
+}
+
+} // namespace
+
+MachineConfig
+evalMachine()
+{
+    return MachineConfig::benchDefault();
+}
+
+RunConfig
+evalRunConfig()
+{
+    return RunConfig::fromEnv();
+}
+
+std::vector<double>
+levels()
+{
+    return EvaluationSweep::standardLevels();
+}
+
+std::vector<PairResult>
+evaluationResults()
+{
+    std::vector<PairResult> results;
+    if (loadPairResults(cacheFile, configKey(), results)) {
+        std::cerr << "[eval] loaded cached sweep from " << cacheFile
+                  << "\n";
+        return results;
+    }
+    std::cerr << "[eval] running the 16-pair evaluation sweep "
+              << "(cached to " << cacheFile << ")...\n";
+    EvaluationSweep sweep(evalMachine(), evalRunConfig());
+    results = sweep.runEvaluation(&std::cerr);
+    savePairResults(cacheFile, configKey(), results);
+    return results;
+}
+
+} // namespace bench
+} // namespace soefair

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Shared driver for the evaluation benches (Figures 6, 7 and 8).
+ *
+ * All three figures are projections of one dataset: the 16 benchmark
+ * pairs, each run single-threaded and under SOE at F = 0, 1/4, 1/2
+ * and 1. Running that sweep takes minutes, so the first bench to
+ * need it writes a cache file (soefair_eval_cache.txt in the working
+ * directory) and the others load it. Delete the file or change
+ * SOEFAIR_SCALE to force a re-run.
+ */
+
+#ifndef SOEFAIR_BENCH_EVAL_COMMON_HH
+#define SOEFAIR_BENCH_EVAL_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "harness/machine_config.hh"
+#include "harness/runner.hh"
+#include "harness/sweep.hh"
+
+namespace soefair
+{
+namespace bench
+{
+
+/** The machine/run configuration every evaluation bench uses. */
+harness::MachineConfig evalMachine();
+harness::RunConfig evalRunConfig();
+
+/**
+ * Obtain the full evaluation dataset, from the cache file if it
+ * matches the current configuration, else by running the sweep
+ * (and writing the cache).
+ */
+std::vector<harness::PairResult> evaluationResults();
+
+/** The standard enforcement levels: 0, 1/4, 1/2, 1. */
+std::vector<double> levels();
+
+} // namespace bench
+} // namespace soefair
+
+#endif // SOEFAIR_BENCH_EVAL_COMMON_HH

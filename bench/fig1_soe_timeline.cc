@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Regenerates paper Figure 1 (the motivating intuition figure) from
+ * real simulation: the execution timeline of two threads under SOE
+ * when one (eon-like) rarely misses and the other (gcc-like) misses
+ * constantly. Rendered as compressed ASCII segments:
+ *
+ *   [T0 x 1203c] Sw [T1 x 214c] Sw ...
+ *
+ * plus a proportional strip chart. The unfairness is visible
+ * directly: thread 0's segments dwarf thread 1's. A second timeline
+ * with F = 1/2 shows the induced switch points shortening the long
+ * segments (the paper's Figure 2 bottom, with enforcement).
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "harness/machine_config.hh"
+#include "harness/system.hh"
+#include "soe/engine.hh"
+#include "soe/policies.hh"
+
+using namespace soefair;
+using namespace soefair::harness;
+
+namespace
+{
+
+struct Segment
+{
+    ThreadID tid;
+    Tick start;
+    Tick end;
+};
+
+std::vector<Segment>
+recordTimeline(soe::SchedulingPolicy &policy, Tick cycles)
+{
+    auto mc = MachineConfig::benchDefault();
+    System sys(mc, {ThreadSpec::benchmark("eon", 1),
+                    ThreadSpec::benchmark("gcc", 2)});
+    sys.warmCaches(150 * 1000);
+    soe::SoeEngine eng(mc.soe, policy, 2, &sys.stats());
+    sys.start(&eng);
+    // Let the enforcement settle past the first delta window.
+    sys.step(220 * 1000);
+
+    std::vector<Segment> segs;
+    ThreadID cur = sys.core().activeThread();
+    Tick segStart = sys.now();
+    const Tick until = sys.now() + cycles;
+    while (sys.now() < until) {
+        sys.step(1);
+        if (sys.core().activeThread() != cur) {
+            segs.push_back({cur, segStart, sys.now()});
+            cur = sys.core().activeThread();
+            segStart = sys.now();
+        }
+    }
+    segs.push_back({cur, segStart, sys.now()});
+    return segs;
+}
+
+void
+print(const char *title, const std::vector<Segment> &segs)
+{
+    std::cout << title << "\n  ";
+    // Compressed segment list (first ~14 segments).
+    std::size_t shown = 0;
+    for (const auto &s : segs) {
+        if (++shown > 14) {
+            std::cout << "...";
+            break;
+        }
+        std::cout << "[T" << s.tid << " " << (s.end - s.start)
+                  << "c] ";
+    }
+    std::cout << "\n  ";
+    // Proportional strip: one character per ~120 cycles.
+    const Tick t0 = segs.front().start;
+    const Tick t1 = segs.back().end;
+    const double perChar = double(t1 - t0) / 72.0;
+    for (const auto &s : segs) {
+        const int chars =
+            int(double(s.end - s.start) / perChar + 0.5);
+        for (int i = 0; i < chars; ++i)
+            std::cout << (s.tid == 0 ? '0' : '1');
+    }
+    std::cout << "\n";
+
+    Tick run[2] = {0, 0};
+    for (const auto &s : segs)
+        run[s.tid] += s.end - s.start;
+    std::cout << "  core share: T0(eon) "
+              << 100 * run[0] / (run[0] + run[1]) << "%, T1(gcc) "
+              << 100 * run[1] / (run[0] + run[1]) << "%  ("
+              << segs.size() - 1 << " switches)\n\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Figure 1: SOE execution timelines (eon:gcc, ~9000 "
+              << "cycles after warmup)\n\n";
+
+    soe::MissOnlyPolicy plain;
+    print("--- plain SOE (switch on L2 miss only, F = 0) ---",
+          recordTimeline(plain, 9000));
+
+    soe::FairnessPolicy fair(0.5, 300.0, 2);
+    print("--- fairness enforced to F = 1/2 (induced switches) ---",
+          recordTimeline(fair, 9000));
+
+    std::cout << "Reading the strips: under plain SOE the rarely-"
+              << "missing thread (0) owns long\nstretches while "
+              << "thread 1 gets slivers between its own misses — "
+              << "the paper's\nFigure 1. Enforcement (bottom) forces "
+              << "switch points that cap thread 0's\nsegments.\n";
+    return 0;
+}

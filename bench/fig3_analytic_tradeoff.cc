@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Regenerates paper Figure 3: the analytic fairness/throughput
+ * trade-off for two-thread combinations with different IPC_no_miss
+ * and IPM, as enforced fairness F sweeps from ~0 to 1.
+ *
+ * Each series prints throughput normalized to the F=0 (miss-only)
+ * throughput; values above 1 are the paper's "enforcing fairness
+ * can actually improve throughput" cases.
+ */
+
+#include <iostream>
+
+#include "core/analytic.hh"
+#include "harness/table.hh"
+
+using namespace soefair;
+using namespace soefair::core;
+using harness::TextTable;
+
+namespace
+{
+
+struct Series
+{
+    const char *label;
+    double ipcA, ipmA;
+    double ipcB, ipmB;
+};
+
+} // namespace
+
+int
+main()
+{
+    // The paper's legend: IPC_no_miss = [a, b], IPM = [x, y].
+    const Series series[] = {
+        {"ipc[2.5,2.5] ipm[15000,1000]", 2.5, 15000, 2.5, 1000},
+        {"ipc[2.5,2.5] ipm[5000,1000]", 2.5, 5000, 2.5, 1000},
+        {"ipc[2.5,2.5] ipm[1000,1000]", 2.5, 1000, 2.5, 1000},
+        {"ipc[2.0,3.0] ipm[15000,1000]", 2.0, 15000, 3.0, 1000},
+        {"ipc[3.0,2.0] ipm[15000,1000]", 3.0, 15000, 2.0, 1000},
+        {"ipc[2.0,3.0] ipm[5000,5000]", 2.0, 5000, 3.0, 5000},
+    };
+
+    std::cout <<
+        "Figure 3: throughput vs enforced fairness F "
+        "(analytical model,\nMiss_lat = 300, Switch_lat = 25). "
+        "Values are throughput normalized to F = 0.\n\n";
+
+    std::vector<std::string> header = {"F"};
+    for (const auto &s : series)
+        header.push_back(s.label);
+    TextTable t(header);
+
+    const double fLevels[] = {0.05, 0.1, 0.2, 0.3, 0.4, 0.5,
+                              0.6, 0.7, 0.8, 0.9, 1.0};
+    for (double f : fLevels) {
+        std::vector<std::string> row = {TextTable::num(f, 2)};
+        for (const auto &s : series) {
+            AnalyticSoe m({ThreadModel::fromIpcNoMiss(s.ipcA, s.ipmA),
+                           ThreadModel::fromIpcNoMiss(s.ipcB, s.ipmB)},
+                          MachineModel{300.0, 25.0});
+            const double base = m.throughput(m.missOnlyQuotas());
+            const double val = m.throughput(m.quotasForFairness(f));
+            row.push_back(TextTable::num(val / base, 4));
+        }
+        t.addRow(row);
+    }
+    t.print(std::cout);
+
+    std::cout <<
+        "\nShape checks vs the paper: equal-IPC pairs degrade by up "
+        "to a few percent\n(worst near F = 1); unequal-IPC pairs can "
+        "degrade by ~15% or improve by ~10%\ndepending on whether "
+        "enforcement biases execution towards the faster thread.\n";
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's own
+ * performance: workload generation, cache access, branch
+ * prediction, the analytic model, and end-to-end simulated
+ * instructions per second.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/analytic.hh"
+#include "cpu/branch_predictor.hh"
+#include "harness/machine_config.hh"
+#include "harness/system.hh"
+#include "mem/cache.hh"
+#include "mem/memory.hh"
+#include "soe/engine.hh"
+#include "soe/policies.hh"
+#include "workload/generator.hh"
+
+using namespace soefair;
+
+static void
+BM_WorkloadGeneration(benchmark::State &state)
+{
+    workload::WorkloadGenerator gen(workload::spec::byName("gcc"), 0,
+                                    1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gen.next());
+    state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_WorkloadGeneration);
+
+static void
+BM_CacheHit(benchmark::State &state)
+{
+    statistics::Group root("b");
+    mem::Bus bus(4, &root);
+    mem::Memory memory(281, bus, &root);
+    EventQueue events;
+    mem::Cache cache({"c", 32 * 1024, 8, 3, 8}, memory, events, &root);
+    cache.warmTouch(0x1000, false);
+    Tick t = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(mem::MemReq{0x1000, false, false, ++t, 0}));
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_CacheHit);
+
+static void
+BM_CacheMissPath(benchmark::State &state)
+{
+    statistics::Group root("b");
+    mem::Bus bus(4, &root);
+    mem::Memory memory(281, bus, &root);
+    EventQueue events;
+    mem::Cache cache({"c", 32 * 1024, 8, 3, 8}, memory, events, &root);
+    Tick t = 0;
+    Addr a = 0;
+    for (auto _ : state) {
+        t += 400;
+        a += 64 * 64; // new set each time
+        events.runUntil(t);
+        benchmark::DoNotOptimize(
+            cache.access(mem::MemReq{a, false, false, t, 0}));
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_CacheMissPath);
+
+static void
+BM_BranchPredict(benchmark::State &state)
+{
+    statistics::Group root("b");
+    cpu::BranchPredictor bp({16384, 12, 4096, 4}, &root);
+    isa::MicroOp op;
+    op.op = isa::OpClass::BranchCond;
+    op.pc = 0x4000;
+    op.taken = true;
+    op.target = 0x5000;
+    for (auto _ : state) {
+        auto p = bp.predict(op);
+        benchmark::DoNotOptimize(bp.update(op, p));
+        op.pc = (op.pc + 4) & 0xFFFF;
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_BranchPredict);
+
+static void
+BM_AnalyticQuota(benchmark::State &state)
+{
+    core::AnalyticSoe m({core::ThreadModel::fromIpcNoMiss(2.5, 15000),
+                         core::ThreadModel::fromIpcNoMiss(2.5, 1000)},
+                        core::MachineModel{300, 25});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(m.quotasForFairness(0.5));
+    state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_AnalyticQuota);
+
+/** End-to-end simulation speed in simulated uops/second. */
+static void
+BM_SimulatedUopsPerSecond(benchmark::State &state)
+{
+    using namespace harness;
+    auto mc = MachineConfig::benchDefault();
+    System sys(mc, {ThreadSpec::benchmark("gcc", 1),
+                    ThreadSpec::benchmark("eon", 2)});
+    sys.warmCaches(50 * 1000);
+    static soe::MissOnlyPolicy pol;
+    soe::SoeEngine eng(mc.soe, pol, 2, &sys.stats());
+    sys.start(&eng);
+    std::uint64_t before = 0;
+    for (auto _ : state) {
+        sys.step(1000);
+    }
+    const std::uint64_t retired =
+        sys.core().retired(0) + sys.core().retired(1) - before;
+    state.SetItemsProcessed(std::int64_t(retired));
+}
+BENCHMARK(BM_SimulatedUopsPerSecond)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

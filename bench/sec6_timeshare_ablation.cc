@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Regenerates the Section 6 discussion: simple time sharing versus
+ * the fairness mechanism.
+ *
+ * Part 1 reproduces the paper's worked numbers analytically: on the
+ * Example 2 pair, a 400-cycle time-sharing quota yields speedups of
+ * ~0.5 and ~0.8 (fairness ~0.6), while the mechanism equalizes both
+ * at ~0.63 (fairness 1.0).
+ *
+ * Part 2 compares simulated time sharing against the mechanism on
+ * the gcc:eon pair across a quota sweep: small quotas cost
+ * throughput (frequent drains, no stall hiding), large quotas keep
+ * throughput but do not hide misses either; the mechanism keeps
+ * SOE's throughput advantage at controlled fairness.
+ */
+
+#include <iostream>
+
+#include "core/analytic.hh"
+#include "core/metrics.hh"
+#include "harness/machine_config.hh"
+#include "harness/runner.hh"
+#include "harness/sweep.hh"
+#include "harness/table.hh"
+#include "soe/policies.hh"
+
+using namespace soefair;
+using namespace soefair::core;
+using namespace soefair::harness;
+using harness::TextTable;
+
+namespace
+{
+
+void
+analyticPart()
+{
+    std::cout << "--- Part 1: the paper's Section 6 example "
+              << "(analytical) ---\n\n";
+
+    AnalyticSoe m({ThreadModel::fromIpcNoMiss(2.5, 15000.0),
+                   ThreadModel::fromIpcNoMiss(2.5, 1000.0)},
+                  MachineModel{300.0, 25.0});
+
+    // Time sharing with a 400-cycle quota: both threads get equal
+    // time; thread 1 runs at its no-miss speed during its slices,
+    // thread 2's misses line up with slice ends and are hidden
+    // (paper's accounting): speed_j = IPSw_j per round.
+    // Model it as quotas of 400 cycles * IPC_no_miss instructions.
+    std::vector<double> tsQuotas = {400.0 * 2.5, 400.0 * 2.5};
+    const double sp1 =
+        m.ipcSoe(0, tsQuotas) / m.ipcSingleThread(0);
+    const double sp2 =
+        m.ipcSoe(1, tsQuotas) / m.ipcSingleThread(1);
+
+    auto fairQuotas = m.quotasForFairness(1.0);
+    const double fp1 =
+        m.ipcSoe(0, fairQuotas) / m.ipcSingleThread(0);
+    const double fp2 =
+        m.ipcSoe(1, fairQuotas) / m.ipcSingleThread(1);
+
+    TextTable t({"scheme", "speedup thr1", "speedup thr2", "fairness",
+                 "paper"});
+    t.addRow({"time share (400 cyc)", TextTable::num(sp1, 3),
+              TextTable::num(sp2, 3),
+              TextTable::num(fairnessOfSpeedups({sp1, sp2}), 3),
+              "0.5 / 0.8 -> 0.6"});
+    t.addRow({"mechanism (F=1)", TextTable::num(fp1, 3),
+              TextTable::num(fp2, 3),
+              TextTable::num(fairnessOfSpeedups({fp1, fp2}), 3),
+              "0.63 / 0.63 -> 1.0"});
+    t.print(std::cout);
+    std::cout << "\n";
+}
+
+void
+simulatedPart()
+{
+    std::cout << "--- Part 2: simulated time sharing vs the "
+              << "mechanism (gcc:eon) ---\n\n";
+
+    MachineConfig mc = MachineConfig::benchDefault();
+    RunConfig rc = RunConfig::fromEnv();
+    Runner runner(mc);
+
+    std::cerr << "[sec6] single-thread references...\n";
+    auto stG = runner.runSingleThread(
+        ThreadSpec::benchmark("gcc", pairSeed(0)), rc);
+    auto stE = runner.runSingleThread(
+        ThreadSpec::benchmark("eon", pairSeed(0)), rc);
+    const std::vector<ThreadSpec> specs = {
+        ThreadSpec::benchmark("gcc", pairSeed(0)),
+        ThreadSpec::benchmark("eon", pairSeed(0))};
+
+    TextTable t({"scheme", "ipc gcc", "ipc eon", "ipc total",
+                 "fairness", "throughput vs ST mean"});
+    const double stMean = 0.5 * (stG.ipc + stE.ipc);
+
+    auto addRow = [&](const std::string &name,
+                      const SoeRunResult &r) {
+        const double f = fairnessOfSpeedups(
+            {r.threads[0].ipc / stG.ipc, r.threads[1].ipc / stE.ipc});
+        t.addRow({name, TextTable::num(r.threads[0].ipc, 3),
+                  TextTable::num(r.threads[1].ipc, 3),
+                  TextTable::num(r.ipcTotal, 3), TextTable::num(f, 3),
+                  TextTable::num(r.ipcTotal / stMean, 3)});
+    };
+
+    for (Tick quota : {Tick(400), Tick(2000), Tick(10000)}) {
+        std::cerr << "[sec6] time share quota " << quota << "...\n";
+        soe::TimeSharePolicy ts(quota);
+        addRow("time share " + std::to_string(quota) + " cyc",
+               runner.runSoe(specs, ts, rc));
+    }
+    for (double f : {0.5, 1.0}) {
+        std::cerr << "[sec6] mechanism F=" << f << "...\n";
+        soe::FairnessPolicy fp(f, mc.soe.missLatency, 2);
+        addRow("mechanism F=" + TextTable::num(f, 2),
+               runner.runSoe(specs, fp, rc));
+    }
+    std::cerr << "[sec6] plain SOE...\n";
+    soe::MissOnlyPolicy none;
+    addRow("plain SOE (F=0)", runner.runSoe(specs, none, rc));
+
+    t.print(std::cout);
+    std::cout <<
+        "\nShape checks vs the paper: time sharing cannot hide miss "
+        "stalls, so its\nthroughput stays near the single-thread "
+        "mean regardless of quota; the\nmechanism keeps most of "
+        "plain SOE's throughput gain while bounding the\nspeedup "
+        "ratio.\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    analyticPart();
+    simulatedPart();
+    return 0;
+}

@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Regenerates paper Table 3: the simulated machine parameters.
+ */
+
+#include <iostream>
+
+#include "harness/machine_config.hh"
+
+int
+main()
+{
+    soefair::harness::MachineConfig::paperDefault().print(std::cout);
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The pause/yield switch hint in action (paper Section 6,
+ * footnote 7): a busy-waiting thread (think spinlock or polling
+ * loop) paired with a worker.
+ *
+ * Without pause switching, the spinner is miss-free and keeps the
+ * core until the max-cycles quota expires — wasting most of the
+ * machine on spinning. With pause switching, every retired pause op
+ * yields the core and the worker gets nearly all of it.
+ *
+ * Also shows how to build a custom workload Profile against the
+ * public API (the registry benchmarks are just pre-built Profiles).
+ */
+
+#include <iostream>
+
+#include "harness/machine_config.hh"
+#include "harness/system.hh"
+#include "harness/table.hh"
+#include "soe/engine.hh"
+#include "soe/policies.hh"
+
+using namespace soefair;
+using namespace soefair::harness;
+
+namespace
+{
+
+/** A spin loop: small code, small data, mostly ALU + pause hints. */
+workload::Profile
+spinnerProfile()
+{
+    workload::Profile p;
+    p.name = "spinner";
+    p.code = {32, 4, 6, 0.25, 0.0};
+    workload::Phase ph;
+    ph.wIntAlu = 1.0;
+    ph.wLoad = 0.25;  // polling a flag
+    ph.wStore = 0.0;
+    ph.wPause = 0.2;  // the yield hint in the wait loop
+    ph.depGeoP = 0.4;
+    ph.depNone = 0.3;
+    ph.hotBytes = 4096;
+    p.phases = {ph};
+    return p;
+}
+
+struct Outcome
+{
+    std::uint64_t spinnerInstrs;
+    std::uint64_t workerInstrs;
+    std::uint64_t pauseSwitches;
+    std::uint64_t quotaSwitches;
+};
+
+Outcome
+run(bool honour_pause)
+{
+    MachineConfig mc = MachineConfig::benchDefault();
+    mc.soe.switchOnPause = honour_pause;
+    System sys(mc, {ThreadSpec{spinnerProfile(), 1, {}},
+                    ThreadSpec::benchmark("bzip2", 2)});
+    sys.warmCaches(100 * 1000);
+    soe::MissOnlyPolicy policy;
+    soe::SoeEngine engine(mc.soe, policy, 2, &sys.stats());
+    sys.start(&engine);
+    sys.step(400 * 1000);
+    return {sys.core().retired(0), sys.core().retired(1),
+            sys.core().switchesPause.value(),
+            sys.core().switchesQuota.value()};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Busy-wait yield demo: a spinner (emits pause "
+              << "hints) vs a bzip2 worker,\n400k cycles under "
+              << "plain SOE.\n\n";
+
+    auto off = run(false);
+    auto on = run(true);
+
+    TextTable t({"pause switching", "spinner instrs", "worker instrs",
+                 "worker share", "pause switches", "quota switches"});
+    auto row = [&](const char *label, const Outcome &o) {
+        const double share = double(o.workerInstrs) /
+            double(o.workerInstrs + o.spinnerInstrs);
+        t.addRow({label, std::to_string(o.spinnerInstrs),
+                  std::to_string(o.workerInstrs),
+                  TextTable::num(100.0 * share, 1) + "%",
+                  std::to_string(o.pauseSwitches),
+                  std::to_string(o.quotaSwitches)});
+    };
+    row("off", off);
+    row("on", on);
+    t.print(std::cout);
+
+    std::cout << "\nWith pause switching the spinner yields within a "
+              << "few instructions of every\nresidency instead of "
+              << "holding the core for the full quota — the paper's\n"
+              << "footnote-7 scenario (x86 pause in wait loops).\n";
+    return 0;
+}

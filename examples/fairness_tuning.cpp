@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Choosing an enforcement level: sweeps F finely on a chosen pair
+ * and prints the fairness/throughput frontier, next to what the
+ * analytical model (built from the measured single-thread IPM/CPM)
+ * predicts. The paper's conclusion — F <= 0.5 is a reasonable
+ * compromise — can be read directly off the table.
+ *
+ *   ./build/examples/fairness_tuning [benchA] [benchB]
+ */
+
+#include <iostream>
+
+#include "core/analytic.hh"
+#include "core/metrics.hh"
+#include "harness/machine_config.hh"
+#include "harness/runner.hh"
+#include "harness/table.hh"
+#include "soe/policies.hh"
+
+using namespace soefair;
+using namespace soefair::harness;
+
+int
+main(int argc, char **argv)
+{
+    const std::string benchA = argc > 1 ? argv[1] : "galgel";
+    const std::string benchB = argc > 2 ? argv[2] : "gcc";
+
+    MachineConfig mc = MachineConfig::benchDefault();
+    Runner runner(mc);
+    RunConfig rc = RunConfig::fromEnv();
+
+    std::cout << "Measuring " << benchA << " and " << benchB
+              << " alone..." << std::endl;
+    auto stA = runner.runSingleThread(
+        ThreadSpec::benchmark(benchA, 1), rc);
+    auto stB = runner.runSingleThread(
+        ThreadSpec::benchmark(benchB, 2), rc);
+
+    // Analytic model from the measured characteristics.
+    core::AnalyticSoe model(
+        {core::ThreadModel{stA.ipm, stA.cpm},
+         core::ThreadModel{stB.ipm, stB.cpm}},
+        core::MachineModel{mc.soe.missLatency, 25.0});
+    const double modelBase = model.throughput(model.missOnlyQuotas());
+
+    const std::vector<ThreadSpec> specs = {
+        ThreadSpec::benchmark(benchA, 1),
+        ThreadSpec::benchmark(benchB, 2)};
+
+    TextTable t({"F", "fairness", "IPC total", "norm", "model norm"});
+
+    double base = 0.0;
+    for (double f : {0.0, 0.125, 0.25, 0.375, 0.5, 0.75, 1.0}) {
+        std::cout << "SOE run at F = " << f << "..." << std::endl;
+        SoeRunResult res;
+        if (f == 0.0) {
+            soe::MissOnlyPolicy policy;
+            res = runner.runSoe(specs, policy, rc);
+        } else {
+            soe::FairnessPolicy policy(f, mc.soe.missLatency, 2);
+            res = runner.runSoe(specs, policy, rc);
+        }
+        if (f == 0.0)
+            base = res.ipcTotal;
+        const double fair = core::fairnessOfSpeedups(
+            {res.threads[0].ipc / stA.ipc,
+             res.threads[1].ipc / stB.ipc});
+        const double modelNorm =
+            model.throughput(model.quotasForFairness(f)) / modelBase;
+        t.addRow({f == 0 ? "0" : TextTable::num(f, 3),
+                  TextTable::num(fair, 3),
+                  TextTable::num(res.ipcTotal, 3),
+                  TextTable::num(res.ipcTotal / base, 3),
+                  TextTable::num(modelNorm, 3)});
+    }
+
+    std::cout << "\nFairness/throughput frontier for " << benchA
+              << ":" << benchB << "\n\n";
+    t.print(std::cout);
+    std::cout << "\n'norm' is throughput relative to F = 0; 'model "
+              << "norm' is the analytical\nprediction from the "
+              << "measured IPM/CPM (Equations 6-10). Pick the "
+              << "smallest F\nwhose fairness you can live with — "
+              << "the paper recommends F <= 0.5.\n";
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Quickstart: run two benchmarks under SOE multithreading with
+ * fairness enforcement and print what happened.
+ *
+ *   ./build/examples/quickstart [benchA] [benchB] [F]
+ *
+ * Defaults: gcc eon 0.5. Benchmark names are the SPEC CPU2000
+ * stand-ins (see workload/profile.hh), F in [0, 1] (0 = plain SOE).
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/metrics.hh"
+#include "harness/machine_config.hh"
+#include "harness/runner.hh"
+#include "harness/table.hh"
+#include "soe/policies.hh"
+
+using namespace soefair;
+using namespace soefair::harness;
+
+int
+main(int argc, char **argv)
+{
+    const std::string benchA = argc > 1 ? argv[1] : "gcc";
+    const std::string benchB = argc > 2 ? argv[2] : "eon";
+    const double f = argc > 3 ? std::atof(argv[3]) : 0.5;
+
+    // The simulated machine: a P6-style out-of-order core with the
+    // paper's SOE parameters (Table 3).
+    MachineConfig mc = MachineConfig::benchDefault();
+    Runner runner(mc);
+    RunConfig rc = RunConfig::fromEnv();
+
+    // 1. Reference runs: each benchmark alone on the machine.
+    std::cout << "Running " << benchA << " and " << benchB
+              << " alone for reference..." << std::endl;
+    auto stA = runner.runSingleThread(
+        ThreadSpec::benchmark(benchA, 1), rc);
+    auto stB = runner.runSingleThread(
+        ThreadSpec::benchmark(benchB, 2), rc);
+    std::cout << "  " << benchA << ": IPC " << stA.ipc
+              << " (a last-level miss every ~" << std::uint64_t(stA.ipm)
+              << " instructions)\n"
+              << "  " << benchB << ": IPC " << stB.ipc
+              << " (a last-level miss every ~" << std::uint64_t(stB.ipm)
+              << " instructions)\n";
+
+    // 2. Both together under SOE.
+    const std::vector<ThreadSpec> specs = {
+        ThreadSpec::benchmark(benchA, 1),
+        ThreadSpec::benchmark(benchB, 2)};
+
+    std::cout << "\nRunning both under SOE (F = " << f << ")..."
+              << std::endl;
+    SoeRunResult res;
+    if (f <= 0.0) {
+        soe::MissOnlyPolicy policy;
+        res = runner.runSoe(specs, policy, rc);
+    } else {
+        soe::FairnessPolicy policy(f, mc.soe.missLatency, 2);
+        res = runner.runSoe(specs, policy, rc);
+    }
+
+    const double spA = res.threads[0].ipc / stA.ipc;
+    const double spB = res.threads[1].ipc / stB.ipc;
+
+    TextTable t({"thread", "IPC alone", "IPC under SOE", "speedup"});
+    t.addRow({benchA, TextTable::num(stA.ipc, 3),
+              TextTable::num(res.threads[0].ipc, 3),
+              TextTable::num(spA, 3)});
+    t.addRow({benchB, TextTable::num(stB.ipc, 3),
+              TextTable::num(res.threads[1].ipc, 3),
+              TextTable::num(spB, 3)});
+    std::cout << "\n";
+    t.print(std::cout);
+
+    std::cout << "\nTotal throughput     : " << res.ipcTotal
+              << " IPC (" << 100.0 * (res.ipcTotal /
+                     (0.5 * (stA.ipc + stB.ipc)) - 1.0)
+              << "% over the single-thread mean)\n"
+              << "Achieved fairness    : "
+              << core::fairnessOfSpeedups({spA, spB})
+              << "  (1 = perfectly fair, 0 = starved)\n"
+              << "Thread switches      : " << res.switchesMiss
+              << " on misses, " << res.switchesForced
+              << " forced by the fairness quota, " << res.switchesQuota
+              << " by the residency quota\n";
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The paper's motivating scenario, end to end: a cache-resident
+ * thread (eon) starves a miss-heavy thread (gcc) under plain SOE,
+ * and the fairness mechanism repairs it at a small throughput cost.
+ *
+ * Prints the speedup of each thread and the achieved fairness for
+ * F = 0, 1/4, 1/2 and 1, plus a per-window view of how the
+ * mechanism converges after enforcement kicks in.
+ */
+
+#include <iostream>
+
+#include "core/metrics.hh"
+#include "harness/machine_config.hh"
+#include "harness/runner.hh"
+#include "harness/table.hh"
+#include "soe/policies.hh"
+
+using namespace soefair;
+using namespace soefair::harness;
+
+int
+main()
+{
+    MachineConfig mc = MachineConfig::benchDefault();
+    Runner runner(mc);
+    RunConfig rc = RunConfig::fromEnv();
+
+    std::cout << "Single-thread references..." << std::endl;
+    auto stGcc = runner.runSingleThread(
+        ThreadSpec::benchmark("gcc", 1), rc);
+    auto stEon = runner.runSingleThread(
+        ThreadSpec::benchmark("eon", 2), rc);
+
+    const std::vector<ThreadSpec> specs = {
+        ThreadSpec::benchmark("gcc", 1),
+        ThreadSpec::benchmark("eon", 2)};
+
+    TextTable t({"F", "speedup gcc", "speedup eon", "fairness",
+                 "IPC total", "forced switches"});
+
+    for (double f : {0.0, 0.25, 0.5, 1.0}) {
+        std::cout << "SOE run at F = " << f << "..." << std::endl;
+        SoeRunResult res;
+        if (f == 0.0) {
+            soe::MissOnlyPolicy policy;
+            res = runner.runSoe(specs, policy, rc);
+        } else {
+            soe::FairnessPolicy policy(f, mc.soe.missLatency, 2);
+            res = runner.runSoe(specs, policy, rc);
+        }
+        const double spG = res.threads[0].ipc / stGcc.ipc;
+        const double spE = res.threads[1].ipc / stEon.ipc;
+        t.addRow({f == 0 ? "0" : TextTable::num(f, 2),
+                  TextTable::num(spG, 3), TextTable::num(spE, 3),
+                  TextTable::num(core::fairnessOfSpeedups({spG, spE}),
+                                 3),
+                  TextTable::num(res.ipcTotal, 3),
+                  std::to_string(res.switchesForced)});
+    }
+
+    std::cout << "\n";
+    t.print(std::cout);
+    std::cout <<
+        "\nReading the table: at F = 0 gcc's speedup collapses (the "
+        "paper saw threads\nrunning 10-100x slower than alone in a "
+        "third of its runs) while eon is nearly\nunaffected. "
+        "Enforcement caps the speedup ratio at 1/F and costs only a "
+        "few\npercent of total throughput.\n";
+
+    // Show the feedback loop converging: per-window quotas at F=1/2.
+    std::cout << "\nPer-window view (F = 1/2): the enforcer estimates "
+              << "each thread's alone-IPC\nand recomputes the switch "
+              << "quota every delta cycles.\n\n";
+    soe::FairnessPolicy policy(0.5, mc.soe.missLatency, 2);
+    auto res = runner.runSoe(specs, policy, rc, true);
+    TextTable w({"window end", "est IPC_ST gcc", "est IPC_ST eon",
+                 "quota gcc", "quota eon"});
+    std::size_t shown = 0;
+    for (const auto &win : res.windows) {
+        if (++shown > 8)
+            break;
+        auto quota = [](double q) {
+            return q > 1e17 ? std::string("inf")
+                            : TextTable::num(q, 0);
+        };
+        w.addRow({std::to_string(win.endTick),
+                  TextTable::num(win.threads[0].estIpcSt, 3),
+                  TextTable::num(win.threads[1].estIpcSt, 3),
+                  quota(win.threads[0].quota),
+                  quota(win.threads[1].quota)});
+    }
+    w.print(std::cout);
+    std::cout << "\nReal alone-IPCs for comparison: gcc "
+              << TextTable::num(stGcc.ipc, 3) << ", eon "
+              << TextTable::num(stEon.ipc, 3) << ".\n";
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Scheduling-policy shoot-out on one pair: plain SOE, the fairness
+ * mechanism at two levels, OS-style time sharing at three quanta,
+ * and a fixed per-thread instruction quota. Shows why the paper
+ * rejects time sharing (Section 6): it cannot hide miss stalls, so
+ * its throughput stays near the single-thread mean.
+ *
+ *   ./build/examples/timeshare_vs_soe [benchA] [benchB]
+ */
+
+#include <iostream>
+
+#include "core/metrics.hh"
+#include "harness/machine_config.hh"
+#include "harness/runner.hh"
+#include "harness/table.hh"
+#include "soe/policies.hh"
+
+using namespace soefair;
+using namespace soefair::harness;
+
+int
+main(int argc, char **argv)
+{
+    const std::string benchA = argc > 1 ? argv[1] : "swim";
+    const std::string benchB = argc > 2 ? argv[2] : "perlbmk";
+
+    MachineConfig mc = MachineConfig::benchDefault();
+    Runner runner(mc);
+    RunConfig rc = RunConfig::fromEnv();
+
+    std::cout << "Single-thread references..." << std::endl;
+    auto stA = runner.runSingleThread(
+        ThreadSpec::benchmark(benchA, 1), rc);
+    auto stB = runner.runSingleThread(
+        ThreadSpec::benchmark(benchB, 2), rc);
+    const double stMean = 0.5 * (stA.ipc + stB.ipc);
+
+    const std::vector<ThreadSpec> specs = {
+        ThreadSpec::benchmark(benchA, 1),
+        ThreadSpec::benchmark(benchB, 2)};
+
+    TextTable t({"policy", "IPC total", "vs ST mean", "fairness",
+                 "switches"});
+
+    auto run = [&](const std::string &name,
+                   soe::SchedulingPolicy &policy) {
+        std::cout << "  " << name << "..." << std::endl;
+        auto res = runner.runSoe(specs, policy, rc);
+        const double fair = core::fairnessOfSpeedups(
+            {res.threads[0].ipc / stA.ipc,
+             res.threads[1].ipc / stB.ipc});
+        const std::uint64_t switches = res.switchesMiss +
+            res.switchesForced + res.switchesQuota;
+        t.addRow({name, TextTable::num(res.ipcTotal, 3),
+                  TextTable::num(res.ipcTotal / stMean, 3),
+                  TextTable::num(fair, 3),
+                  std::to_string(switches)});
+    };
+
+    std::cout << "Policies on " << benchA << ":" << benchB << ":"
+              << std::endl;
+    {
+        soe::MissOnlyPolicy p;
+        run("SOE, no fairness (F=0)", p);
+    }
+    {
+        soe::FairnessPolicy p(0.5, mc.soe.missLatency, 2);
+        run("SOE + fairness F=1/2", p);
+    }
+    {
+        soe::FairnessPolicy p(1.0, mc.soe.missLatency, 2);
+        run("SOE + fairness F=1", p);
+    }
+    for (Tick q : {Tick(400), Tick(2000), Tick(10000)}) {
+        soe::TimeSharePolicy p(q);
+        run("time share " + std::to_string(q) + " cyc", p);
+    }
+    {
+        soe::FixedQuotaPolicy p{2000.0};
+        run("fixed quota 2000 insts", p);
+    }
+
+    std::cout << "\n";
+    t.print(std::cout);
+    std::cout <<
+        "\n'vs ST mean' > 1 means the policy extracts real "
+        "multithreading value\n(hides stalls). Time sharing hovers "
+        "near 1.0 at every quantum: it divides\ntime fairly but "
+        "wastes every miss stall, which is exactly the paper's "
+        "point.\n";
+    return 0;
+}

@@ -1,0 +1,132 @@
+#include "core/analytic.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace soefair
+{
+namespace core
+{
+
+AnalyticSoe::AnalyticSoe(std::vector<ThreadModel> threads,
+                         MachineModel machine)
+    : thr(std::move(threads)), mach(machine)
+{
+    soefair_assert(thr.size() >= 1, "model needs at least one thread");
+    for (const auto &t : thr) {
+        soefair_assert(t.ipm > 0.0, "thread IPM must be positive");
+        soefair_assert(t.cpm > 0.0, "thread CPM must be positive");
+    }
+    soefair_assert(mach.missLat >= 0.0 && mach.switchLat >= 0.0,
+                   "negative machine latency");
+}
+
+double
+AnalyticSoe::ipcSingleThread(std::size_t j) const
+{
+    const ThreadModel &t = thr.at(j);
+    return t.ipm / (t.cpm + mach.missLat);
+}
+
+double
+AnalyticSoe::cpswOf(std::size_t k, double quota) const
+{
+    const ThreadModel &t = thr.at(k);
+    const double ipsw = std::min(quota, t.ipm);
+    soefair_assert(ipsw > 0.0, "non-positive switch quota");
+    // The thread runs at IPC_no_miss between switches.
+    return ipsw * t.cpm / t.ipm;
+}
+
+double
+AnalyticSoe::roundCycles(const std::vector<double> &quotas) const
+{
+    soefair_assert(quotas.size() == thr.size(),
+                   "quota vector size mismatch");
+    double cycles = 0.0;
+    for (std::size_t k = 0; k < thr.size(); ++k)
+        cycles += cpswOf(k, quotas[k]) + mach.switchLat;
+    return cycles;
+}
+
+double
+AnalyticSoe::ipcSoe(std::size_t j,
+                    const std::vector<double> &quotas) const
+{
+    const double ipsw = std::min(quotas.at(j), thr.at(j).ipm);
+    return ipsw / roundCycles(quotas);
+}
+
+double
+AnalyticSoe::ipcSoeMissOnly(std::size_t j) const
+{
+    return ipcSoe(j, missOnlyQuotas());
+}
+
+double
+AnalyticSoe::throughput(const std::vector<double> &quotas) const
+{
+    double total = 0.0;
+    for (std::size_t j = 0; j < thr.size(); ++j)
+        total += ipcSoe(j, quotas);
+    return total;
+}
+
+double
+AnalyticSoe::fairness(const std::vector<double> &quotas) const
+{
+    double minSp = std::numeric_limits<double>::infinity();
+    double maxSp = 0.0;
+    for (std::size_t j = 0; j < thr.size(); ++j) {
+        const double sp = ipcSoe(j, quotas) / ipcSingleThread(j);
+        minSp = std::min(minSp, sp);
+        maxSp = std::max(maxSp, sp);
+    }
+    return maxSp > 0.0 ? minSp / maxSp : 0.0;
+}
+
+std::vector<double>
+AnalyticSoe::quotasForFairness(double f) const
+{
+    soefair_assert(f >= 0.0 && f <= 1.0,
+                   "target fairness out of [0,1]: ", f);
+    if (f == 0.0)
+        return missOnlyQuotas();
+
+    double cpmMin = std::numeric_limits<double>::infinity();
+    for (const auto &t : thr)
+        cpmMin = std::min(cpmMin, t.cpm);
+
+    std::vector<double> quotas(thr.size());
+    for (std::size_t j = 0; j < thr.size(); ++j) {
+        const double unclamped =
+            ipcSingleThread(j) / f * (cpmMin + mach.missLat);
+        quotas[j] = std::min(thr[j].ipm, unclamped);
+    }
+    return quotas;
+}
+
+std::vector<double>
+AnalyticSoe::missOnlyQuotas() const
+{
+    std::vector<double> quotas(thr.size());
+    for (std::size_t j = 0; j < thr.size(); ++j)
+        quotas[j] = thr[j].ipm;
+    return quotas;
+}
+
+double
+AnalyticSoe::speedupOverSingleThread(
+    const std::vector<double> &quotas) const
+{
+    double stMean = 0.0;
+    for (std::size_t j = 0; j < thr.size(); ++j)
+        stMean += ipcSingleThread(j);
+    stMean /= double(thr.size());
+    return throughput(quotas) / stMean;
+}
+
+} // namespace core
+} // namespace soefair

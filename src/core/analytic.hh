@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The paper's analytical model of SOE fairness and throughput
+ * (Section 2, Equations 1-10).
+ *
+ * A thread is characterized by IPM (instructions per last-level
+ * miss), CPM (cycles per miss, excluding the miss stall) — or
+ * equivalently by IPM and IPC_no_miss = IPM/CPM — plus the machine
+ * parameters Miss_lat and Switch_lat. The model predicts
+ * single-thread IPC (Eq. 1), per-thread SOE IPC with arbitrary
+ * switch quotas (Eq. 6), total throughput (Eq. 10), the fairness
+ * metric (Eq. 4/7), and the quota that enforces a target fairness F
+ * (Eq. 9). It is both an analysis tool (Figure 3, Table 2) and the
+ * mathematical core of the runtime enforcement mechanism.
+ */
+
+#ifndef SOEFAIR_CORE_ANALYTIC_HH
+#define SOEFAIR_CORE_ANALYTIC_HH
+
+#include <vector>
+
+namespace soefair
+{
+namespace core
+{
+
+/** Analytic description of one thread. */
+struct ThreadModel
+{
+    /** Average useful instructions between last-level misses. */
+    double ipm = 0.0;
+    /** Average cycles between misses (excluding miss stalls). */
+    double cpm = 0.0;
+
+    /** Convenience: build from IPC excluding misses. */
+    static ThreadModel
+    fromIpcNoMiss(double ipc_no_miss, double ipm_)
+    {
+        return {ipm_, ipm_ / ipc_no_miss};
+    }
+
+    double ipcNoMiss() const { return ipm / cpm; }
+};
+
+/** Machine parameters of the model. */
+struct MachineModel
+{
+    double missLat = 300.0;
+    double switchLat = 25.0;
+};
+
+/**
+ * The N-thread analytical SOE model.
+ *
+ * All methods are pure functions of the thread/machine parameters;
+ * quotas (IPSw_j) default to "switch on miss only" (IPSw_j = IPM_j).
+ */
+class AnalyticSoe
+{
+  public:
+    AnalyticSoe(std::vector<ThreadModel> threads, MachineModel machine);
+
+    std::size_t numThreads() const { return thr.size(); }
+    const ThreadModel &thread(std::size_t j) const { return thr.at(j); }
+    const MachineModel &machine() const { return mach; }
+
+    /** Eq. 1: single-thread IPC of thread j. */
+    double ipcSingleThread(std::size_t j) const;
+
+    /**
+     * Eq. 6: SOE IPC of thread j given per-thread instruction
+     * quotas (quotas[k] = IPSw_k). A quota above IPM_k is clamped
+     * to IPM_k (a thread cannot run past its own miss).
+     */
+    double ipcSoe(std::size_t j,
+                  const std::vector<double> &quotas) const;
+
+    /** Eq. 2 specialization: SOE IPC with miss-only switching. */
+    double ipcSoeMissOnly(std::size_t j) const;
+
+    /** Eq. 10: total SOE throughput for the given quotas. */
+    double throughput(const std::vector<double> &quotas) const;
+
+    /**
+     * Eq. 4/7: the fairness metric achieved with the given quotas —
+     * the minimum ratio between any two threads' speedups.
+     */
+    double fairness(const std::vector<double> &quotas) const;
+
+    /**
+     * Eq. 9: quotas enforcing target fairness F:
+     * IPSw_j = min(IPM_j, IPC_ST_j / F * (CPM_min + Miss_lat)).
+     * F = 0 returns miss-only quotas (IPSw_j = IPM_j).
+     */
+    std::vector<double> quotasForFairness(double f) const;
+
+    /** Miss-only quotas (IPSw_j = IPM_j). */
+    std::vector<double> missOnlyQuotas() const;
+
+    /**
+     * Speedup of SOE over single thread with the given quotas:
+     * throughput divided by the mean single-thread IPC (the paper's
+     * Figure 6 footnote).
+     */
+    double speedupOverSingleThread(
+        const std::vector<double> &quotas) const;
+
+  private:
+    /** CPSw_k: cycles thread k runs per switch, given its quota. */
+    double cpswOf(std::size_t k, double quota) const;
+    /** Denominator of Eq. 6: one full SOE round in cycles. */
+    double roundCycles(const std::vector<double> &quotas) const;
+
+    std::vector<ThreadModel> thr;
+    MachineModel mach;
+};
+
+} // namespace core
+} // namespace soefair
+
+#endif // SOEFAIR_CORE_ANALYTIC_HH

@@ -1,0 +1,80 @@
+#include "core/enforcer.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace soefair
+{
+namespace core
+{
+
+FairnessEnforcer::FairnessEnforcer(double target_fairness,
+                                   double miss_lat,
+                                   unsigned num_threads)
+    : target(target_fairness), missLat(miss_lat)
+{
+    soefair_assert(target >= 0.0 && target <= 1.0,
+                   "target fairness out of [0,1]: ", target);
+    soefair_assert(missLat >= 0.0, "negative miss latency");
+    soefair_assert(num_threads >= 1, "need at least one thread");
+    latest.resize(num_threads);
+}
+
+std::vector<double>
+FairnessEnforcer::recompute(const std::vector<HwCounters> &window,
+                            double measured_miss_lat)
+{
+    soefair_assert(window.size() == latest.size(),
+                   "counter vector size mismatch");
+
+    const double lat =
+        measured_miss_lat > 0.0 ? measured_miss_lat : missLat;
+
+    // Refresh estimates; starved threads keep their previous one.
+    for (std::size_t j = 0; j < window.size(); ++j) {
+        WindowEstimate e = estimateWindow(window[j], lat);
+        if (!e.empty)
+            latest[j] = e;
+    }
+
+    std::vector<double> quotas(latest.size(),
+                               DeficitCounter::unlimited);
+    if (target <= 0.0)
+        return quotas; // F = 0: switch on misses only
+
+    // CPM_min over threads with data.
+    double cpmMin = std::numeric_limits<double>::infinity();
+    bool any = false;
+    for (const auto &e : latest) {
+        if (!e.empty) {
+            cpmMin = std::min(cpmMin, e.cpm);
+            any = true;
+        }
+    }
+    if (!any)
+        return quotas; // no data yet (first window): no enforcement
+
+    for (std::size_t j = 0; j < latest.size(); ++j) {
+        const WindowEstimate &e = latest[j];
+        if (e.empty)
+            continue; // cannot quota a thread we know nothing about
+        const double unclamped =
+            e.ipcSt / target * (cpmMin + lat);
+        // Eq. 9 with a floor of one instruction: a quota below 1
+        // would starve the thread outright.
+        quotas[j] = std::max(1.0, std::min(e.ipm, unclamped));
+    }
+    return quotas;
+}
+
+const WindowEstimate &
+FairnessEnforcer::estimate(unsigned tid) const
+{
+    soefair_assert(tid < latest.size(), "estimate() bad tid");
+    return latest[tid];
+}
+
+} // namespace core
+} // namespace soefair

@@ -1,0 +1,77 @@
+#include "core/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace soefair
+{
+namespace core
+{
+
+double
+fairnessOfSpeedups(const std::vector<double> &speedups)
+{
+    soefair_assert(speedups.size() >= 2,
+                   "fairness needs at least two threads");
+    double mn = std::numeric_limits<double>::infinity();
+    double mx = 0.0;
+    for (double s : speedups) {
+        soefair_assert(s >= 0.0, "negative speedup");
+        mn = std::min(mn, s);
+        mx = std::max(mx, s);
+    }
+    return mx > 0.0 ? mn / mx : 0.0;
+}
+
+double
+harmonicMeanOfSpeedups(const std::vector<double> &speedups)
+{
+    soefair_assert(!speedups.empty(), "empty speedup vector");
+    double denom = 0.0;
+    for (double s : speedups) {
+        if (s <= 0.0)
+            return 0.0; // a starved thread zeroes the harmonic mean
+        denom += 1.0 / s;
+    }
+    return double(speedups.size()) / denom;
+}
+
+double
+weightedSpeedup(const std::vector<double> &speedups)
+{
+    double sum = 0.0;
+    for (double s : speedups)
+        sum += s;
+    return sum;
+}
+
+double
+truncateAtTarget(double achieved, double target)
+{
+    if (target <= 0.0)
+        return achieved;
+    return std::min(achieved, target);
+}
+
+MeanStd
+meanStd(const std::vector<double> &xs)
+{
+    MeanStd r;
+    if (xs.empty())
+        return r;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    r.mean = sum / double(xs.size());
+    double var = 0.0;
+    for (double x : xs)
+        var += (x - r.mean) * (x - r.mean);
+    r.stddev = std::sqrt(var / double(xs.size()));
+    return r;
+}
+
+} // namespace core
+} // namespace soefair

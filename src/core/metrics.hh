@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fairness and throughput metrics (Sections 2.2 and 6).
+ *
+ * The paper's fairness metric is the minimum ratio between any two
+ * threads' speedups (Eq. 4). For comparison, the metrics it argues
+ * against are also provided: Luo et al.'s harmonic-mean fairness
+ * and Snavely et al.'s weighted speedup. The min(F, achieved)
+ * truncation used for Figure 8 (right) is provided as a helper.
+ */
+
+#ifndef SOEFAIR_CORE_METRICS_HH
+#define SOEFAIR_CORE_METRICS_HH
+
+#include <vector>
+
+namespace soefair
+{
+namespace core
+{
+
+/**
+ * Eq. 4: fairness of a set of per-thread speedups
+ * (speedup_j = IPC_SOE_j / IPC_ST_j). Returns min/max ratio in
+ * [0, 1]; 1 is perfectly fair, 0 means a thread is fully starved.
+ */
+double fairnessOfSpeedups(const std::vector<double> &speedups);
+
+/** Luo et al.: harmonic mean of the speedups. */
+double harmonicMeanOfSpeedups(const std::vector<double> &speedups);
+
+/** Snavely et al.: weighted speedup = sum of the speedups. */
+double weightedSpeedup(const std::vector<double> &speedups);
+
+/**
+ * Figure 8 (right) helper: truncate achieved fairness at the
+ * enforced target so runs that are fair anyway do not bias the
+ * average towards 1. target = 0 applies no truncation.
+ */
+double truncateAtTarget(double achieved, double target);
+
+/** Mean and (population) standard deviation of a sample. */
+struct MeanStd
+{
+    double mean = 0.0;
+    double stddev = 0.0;
+};
+
+MeanStd meanStd(const std::vector<double> &xs);
+
+} // namespace core
+} // namespace soefair
+
+#endif // SOEFAIR_CORE_METRICS_HH

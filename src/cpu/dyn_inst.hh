@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Dynamic (in-flight) instruction record.
+ *
+ * DynInsts live in the ROB deque from dispatch to retirement; the
+ * rename table, issue queue and load/store queues hold pointers into
+ * that deque (std::deque guarantees reference stability for
+ * push_back/pop_front, and a full-pipeline squash drops every
+ * reference before entries are destroyed).
+ */
+
+#ifndef SOEFAIR_CPU_DYN_INST_HH
+#define SOEFAIR_CPU_DYN_INST_HH
+
+#include "cpu/branch_predictor.hh"
+#include "isa/micro_op.hh"
+#include "sim/types.hh"
+
+namespace soefair
+{
+namespace cpu
+{
+
+struct DynInst
+{
+    isa::MicroOp op;
+    ThreadID tid = 0;
+
+    /** Fetch-stage timestamps. */
+    Tick fetchTick = 0;
+    /** Earliest tick the dispatch stage may consume this op. */
+    Tick dispatchReadyTick = 0;
+
+    /**
+     * Producers of the source operands that were still in flight at
+     * dispatch; nullptr means architecturally ready.
+     */
+    DynInst *src[2] = {nullptr, nullptr};
+
+    bool inRob = false;
+    bool inIq = false;
+    bool issued = false;
+    /** Data-available tick once issued. */
+    Tick completionTick = maxTick;
+
+    /** Load or TLB walk reached main memory (the SOE switch event). */
+    bool l2Miss = false;
+    /** Load missed the L1D (Section 6's extended switch event). */
+    bool l1Miss = false;
+
+    /** Front end could not follow this branch (known at fetch). */
+    bool mispredicted = false;
+    /** Prediction made at fetch; trained when the branch executes. */
+    BranchPredictor::Prediction pred;
+
+    bool
+    completedBy(Tick now) const
+    {
+        return issued && completionTick <= now;
+    }
+
+    bool
+    srcsReady(Tick now) const
+    {
+        for (const DynInst *p : src) {
+            if (p && !p->completedBy(now))
+                return false;
+        }
+        return true;
+    }
+};
+
+} // namespace cpu
+} // namespace soefair
+
+#endif // SOEFAIR_CPU_DYN_INST_HH

@@ -1,0 +1,82 @@
+#include "cpu/fu_pool.hh"
+
+#include "sim/logging.hh"
+
+namespace soefair
+{
+namespace cpu
+{
+
+FuPool::FuPool(const FuPoolConfig &config)
+{
+    busyUntil[KIntAlu].assign(config.intAlu, 0);
+    busyUntil[KIntMul].assign(config.intMul, 0);
+    busyUntil[KIntDiv].assign(config.intDiv, 0);
+    busyUntil[KFpAdd].assign(config.fpAdd, 0);
+    busyUntil[KFpMul].assign(config.fpMul, 0);
+    busyUntil[KFpDiv].assign(config.fpDiv, 0);
+    busyUntil[KMem].assign(config.memPorts, 0);
+    for (const auto &units : busyUntil)
+        soefair_assert(!units.empty(), "FU kind with zero units");
+}
+
+FuPool::Kind
+FuPool::kindOf(isa::OpClass c)
+{
+    using isa::OpClass;
+    switch (c) {
+      case OpClass::IntAlu:
+      case OpClass::BranchCond:
+      case OpClass::BranchUncond:
+      case OpClass::Nop:
+      case OpClass::Pause:
+        return KIntAlu;
+      case OpClass::IntMul: return KIntMul;
+      case OpClass::IntDiv: return KIntDiv;
+      case OpClass::FpAdd: return KFpAdd;
+      case OpClass::FpMul: return KFpMul;
+      case OpClass::FpDiv: return KFpDiv;
+      case OpClass::Load:
+      case OpClass::Store:
+        return KMem;
+      default:
+        panic("FuPool::kindOf: bad op class");
+    }
+}
+
+bool
+FuPool::canIssue(isa::OpClass c, Tick now) const
+{
+    for (Tick t : busyUntil[kindOf(c)]) {
+        if (t <= now)
+            return true;
+    }
+    return false;
+}
+
+void
+FuPool::occupy(isa::OpClass c, Tick now)
+{
+    const Kind k = kindOf(c);
+    for (Tick &t : busyUntil[k]) {
+        if (t <= now) {
+            // A pipelined unit is claimed for one cycle; an
+            // unpipelined one for its full latency.
+            t = now + (isa::opPipelined(c) ? 1 : isa::opLatency(c));
+            return;
+        }
+    }
+    panic("FuPool::occupy with no free unit");
+}
+
+void
+FuPool::reset()
+{
+    for (auto &units : busyUntil) {
+        for (Tick &t : units)
+            t = 0;
+    }
+}
+
+} // namespace cpu
+} // namespace soefair

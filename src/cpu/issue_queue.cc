@@ -1,0 +1,31 @@
+#include "cpu/issue_queue.hh"
+
+#include <algorithm>
+
+namespace soefair
+{
+namespace cpu
+{
+
+void
+IssueQueue::compact()
+{
+    entries.erase(
+        std::remove_if(entries.begin(), entries.end(),
+                       [](const DynInst *e) { return !e->inIq; }),
+        entries.end());
+}
+
+void
+IssueQueue::dropProducer(const DynInst *producer)
+{
+    for (DynInst *e : entries) {
+        for (DynInst *&s : e->src) {
+            if (s == producer)
+                s = nullptr;
+        }
+    }
+}
+
+} // namespace cpu
+} // namespace soefair

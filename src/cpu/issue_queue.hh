@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Unified issue queue (reservation stations).
+ *
+ * Entries wait here from dispatch until their sources are ready and
+ * a functional unit is free. Selection is oldest-first, which both
+ * matches P6-style schedulers closely enough and keeps runs
+ * deterministic.
+ */
+
+#ifndef SOEFAIR_CPU_ISSUE_QUEUE_HH
+#define SOEFAIR_CPU_ISSUE_QUEUE_HH
+
+#include <vector>
+
+#include "cpu/dyn_inst.hh"
+#include "sim/logging.hh"
+
+namespace soefair
+{
+namespace cpu
+{
+
+class IssueQueue
+{
+  public:
+    explicit IssueQueue(unsigned capacity) : cap(capacity)
+    {
+        soefair_assert(cap > 0, "IQ capacity must be positive");
+        entries.reserve(cap);
+    }
+
+    bool full() const { return entries.size() >= cap; }
+    bool empty() const { return entries.empty(); }
+    std::size_t size() const { return entries.size(); }
+
+    void
+    insert(DynInst *inst)
+    {
+        soefair_assert(!full(), "insert to full IQ");
+        inst->inIq = true;
+        entries.push_back(inst);
+    }
+
+    /** Remove every entry already marked !inIq (issued this cycle). */
+    void compact();
+
+    /** Drop everything (thread-switch drain). */
+    void
+    squashAll()
+    {
+        for (DynInst *e : entries)
+            e->inIq = false;
+        entries.clear();
+    }
+
+    /**
+     * Retire-time cleanup: a retiring producer is complete, so any
+     * waiter's pointer to it can be cleared (treated as ready).
+     */
+    void dropProducer(const DynInst *producer);
+
+    /** Oldest-first iteration. */
+    auto begin() { return entries.begin(); }
+    auto end() { return entries.end(); }
+
+  private:
+    unsigned cap;
+    std::vector<DynInst *> entries;
+};
+
+} // namespace cpu
+} // namespace soefair
+
+#endif // SOEFAIR_CPU_ISSUE_QUEUE_HH

@@ -1,0 +1,36 @@
+#include "cpu/lsq.hh"
+
+namespace soefair
+{
+namespace cpu
+{
+
+namespace
+{
+
+inline Addr
+wordAddr(Addr a)
+{
+    return a & ~Addr(7);
+}
+
+} // namespace
+
+StoreQueue::Match
+StoreQueue::search(Addr addr, InstSeqNum load_seq, Tick now) const
+{
+    const Addr word = wordAddr(addr);
+    // Youngest matching older store wins.
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+        const DynInst *st = *it;
+        if (st->op.seqNum >= load_seq)
+            continue;
+        if (wordAddr(st->op.memAddr) != word)
+            continue;
+        return st->completedBy(now) ? Match::Forward : Match::Block;
+    }
+    return Match::None;
+}
+
+} // namespace cpu
+} // namespace soefair

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Re-order buffer: the in-order backbone of the core.
+ *
+ * DynInsts enter at dispatch and leave at retirement (head) or on a
+ * full-pipeline squash (thread switch drain). The SOE switch trigger
+ * lives at the head of this structure: a head instruction flagged
+ * with an unresolved L2 miss is the paper's switch event.
+ */
+
+#ifndef SOEFAIR_CPU_ROB_HH
+#define SOEFAIR_CPU_ROB_HH
+
+#include <deque>
+
+#include "cpu/dyn_inst.hh"
+#include "sim/logging.hh"
+
+namespace soefair
+{
+namespace cpu
+{
+
+class Rob
+{
+  public:
+    explicit Rob(unsigned capacity) : cap(capacity)
+    {
+        soefair_assert(cap > 0, "ROB capacity must be positive");
+    }
+
+    bool full() const { return entries.size() >= cap; }
+    bool empty() const { return entries.empty(); }
+    std::size_t size() const { return entries.size(); }
+    unsigned capacity() const { return cap; }
+
+    /** Append at the tail; returns the stable ROB entry. */
+    DynInst &
+    push(DynInst &&inst)
+    {
+        soefair_assert(!full(), "push to full ROB");
+        soefair_assert(entries.empty() ||
+                       inst.op.seqNum == entries.back().op.seqNum + 1,
+                       "ROB must stay in program order");
+        entries.push_back(std::move(inst));
+        entries.back().inRob = true;
+        return entries.back();
+    }
+
+    DynInst &
+    head()
+    {
+        soefair_assert(!empty(), "head of empty ROB");
+        return entries.front();
+    }
+
+    void
+    popHead()
+    {
+        soefair_assert(!empty(), "pop of empty ROB");
+        entries.front().inRob = false;
+        entries.pop_front();
+    }
+
+    /** Drop everything (thread-switch drain). */
+    void
+    squashAll()
+    {
+        for (auto &e : entries)
+            e.inRob = false;
+        entries.clear();
+    }
+
+    /** In-order iteration (oldest first). */
+    auto begin() { return entries.begin(); }
+    auto end() { return entries.end(); }
+    auto begin() const { return entries.begin(); }
+    auto end() const { return entries.end(); }
+
+  private:
+    unsigned cap;
+    std::deque<DynInst> entries;
+};
+
+} // namespace cpu
+} // namespace soefair
+
+#endif // SOEFAIR_CPU_ROB_HH

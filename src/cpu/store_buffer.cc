@@ -1,0 +1,70 @@
+#include "cpu/store_buffer.hh"
+
+#include "sim/logging.hh"
+
+namespace soefair
+{
+namespace cpu
+{
+
+StoreBuffer::StoreBuffer(unsigned capacity, mem::Hierarchy &hierarchy,
+                         statistics::Group *stats_parent)
+    : statsGroup("storeBuffer", stats_parent),
+      pushes(&statsGroup, "pushes", "retired stores accepted"),
+      drains(&statsGroup, "drains", "stores written to the cache"),
+      retries(&statsGroup, "retries", "drain attempts rejected"),
+      cap(capacity),
+      hier(hierarchy)
+{
+    soefair_assert(cap > 0, "store buffer capacity must be positive");
+}
+
+void
+StoreBuffer::push(ThreadID tid, Addr addr, Tick now)
+{
+    soefair_assert(!full(), "push to full store buffer");
+    (void)now;
+    ++pushes;
+    entries.push_back(Entry{tid, addr, false, 0});
+}
+
+void
+StoreBuffer::tick(Tick now)
+{
+    // Free completed entries from the front (in-order dealloc).
+    while (!entries.empty() && entries.front().issued &&
+           entries.front().completion <= now) {
+        entries.pop_front();
+        ++drains;
+    }
+
+    // Issue the oldest not-yet-issued store (one per cycle); earlier
+    // entries are already in flight in the memory system.
+    for (auto &e : entries) {
+        if (e.issued)
+            continue;
+        auto res = hier.store(e.tid, e.addr, now);
+        if (res.retry) {
+            ++retries;
+        } else {
+            e.issued = true;
+            e.completion = res.completion;
+        }
+        break;
+    }
+}
+
+StoreBuffer::Match
+StoreBuffer::probe(Addr addr, ThreadID tid) const
+{
+    const Addr word = addr & ~Addr(7);
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+        if ((it->addr & ~Addr(7)) != word)
+            continue;
+        return it->tid == tid ? Match::SameThread : Match::OtherThread;
+    }
+    return Match::None;
+}
+
+} // namespace cpu
+} // namespace soefair

@@ -1,0 +1,99 @@
+#include "harness/machine_config.hh"
+
+namespace soefair
+{
+namespace harness
+{
+
+MachineConfig
+MachineConfig::paperDefault()
+{
+    MachineConfig mc;
+    // The struct defaults already encode Table 3; spelled out here
+    // so the preset is explicit and robust to default drift.
+    mc.core.robEntries = 96;
+    mc.core.iqEntries = 48;
+    mc.core.lqEntries = 32;
+    mc.core.sqEntries = 24;
+    mc.core.sbEntries = 12;
+    mc.core.dispatchWidth = 4;
+    mc.core.issueWidth = 6;
+    mc.core.retireWidth = 4;
+    mc.core.drainCycles = 6;
+    mc.core.switchRestartDelay = 8;
+    mc.core.fetch = {4, 16, 4, 2};
+    mc.core.bpred = {16 * 1024, 12, 4096, 4};
+    mc.core.fus = {3, 1, 1, 1, 1, 1, 2};
+
+    mc.mem.l1i = {"l1i", 32 * 1024, 8, 3, 4};
+    mc.mem.l1d = {"l1d", 32 * 1024, 8, 3, 8};
+    mc.mem.l2 = {"l2", 2 * 1024 * 1024, 16, 12, 16};
+    mc.mem.itlb = {"itlb", 64, 10};
+    mc.mem.dtlb = {"dtlb", 64, 10};
+    mc.mem.busOccupancy = 4;
+    mc.mem.memLatency = 281; // L1(3)+L2(12)+bus(4)+281 ~= 300 total
+
+    mc.soe.delta = 250 * 1000;
+    mc.soe.maxCyclesQuota = 50 * 1000;
+    mc.soe.missLatency = 300.0;
+    return mc;
+}
+
+MachineConfig
+MachineConfig::benchDefault()
+{
+    MachineConfig mc = paperDefault();
+    mc.soe.delta = 100 * 1000;
+    mc.soe.maxCyclesQuota = 25 * 1000;
+    return mc;
+}
+
+void
+MachineConfig::print(std::ostream &os) const
+{
+    os << "Simulated machine parameters (paper Table 3)\n"
+       << "--------------------------------------------\n"
+       << "Pipeline      : " << core.dispatchWidth << "-wide "
+       << "fetch/decode/rename/retire, " << core.issueWidth
+       << "-wide issue\n"
+       << "ROB / RS      : " << core.robEntries << " / "
+       << core.iqEntries << " entries\n"
+       << "LQ / SQ / SB  : " << core.lqEntries << " / "
+       << core.sqEntries << " / " << core.sbEntries << " entries\n"
+       << "Exec units    : " << core.fus.intAlu << " IALU, "
+       << core.fus.intMul << " IMUL, " << core.fus.intDiv
+       << " IDIV, " << core.fus.fpAdd << " FADD, " << core.fus.fpMul
+       << " FMUL, " << core.fus.fpDiv << " FDIV, "
+       << core.fus.memPorts << " mem ports\n"
+       << "Branch pred   : gshare " << core.bpred.phtEntries
+       << "-entry PHT (" << core.bpred.historyBits
+       << " history bits), BTB " << core.bpred.btbEntries << " x"
+       << core.bpred.btbAssoc << "-way\n"
+       << "L1I           : " << mem.l1i.sizeBytes / 1024 << " KiB "
+       << mem.l1i.assoc << "-way, " << mem.l1i.hitLatency
+       << "-cycle, " << mem.l1i.numMshrs << " MSHRs\n"
+       << "L1D           : " << mem.l1d.sizeBytes / 1024 << " KiB "
+       << mem.l1d.assoc << "-way, " << mem.l1d.hitLatency
+       << "-cycle, " << mem.l1d.numMshrs << " MSHRs\n"
+       << "L2 (unified)  : " << mem.l2.sizeBytes / (1024 * 1024)
+       << " MiB " << mem.l2.assoc << "-way, " << mem.l2.hitLatency
+       << "-cycle, " << mem.l2.numMshrs << " MSHRs\n"
+       << "TLBs          : " << mem.itlb.entries
+       << "-entry i/d, fully assoc., " << mem.itlb.walkCycles
+       << "-cycle walker overhead (walks the L2)\n"
+       << "Bus / memory  : " << mem.busOccupancy
+       << "-cycle pipelined bus, " << mem.memLatency
+       << "-cycle array (total L2-miss latency ~300 cycles)\n"
+       << "Thread switch : " << core.drainCycles << "-cycle drain + "
+       << core.switchRestartDelay
+       << "-cycle restart (effective Switch_lat ~25 cycles)\n"
+       << "SOE delta     : " << soe.delta
+       << " cycles (counter sampling period)\n"
+       << "Cycles quota  : " << soe.maxCyclesQuota
+       << " cycles max residency per thread\n"
+       << "Miss_lat      : " << soe.missLatency
+       << " cycles (model parameter)\n";
+}
+
+} // namespace harness
+} // namespace soefair

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Whole-machine configuration (paper Table 3) and presets.
+ */
+
+#ifndef SOEFAIR_HARNESS_MACHINE_CONFIG_HH
+#define SOEFAIR_HARNESS_MACHINE_CONFIG_HH
+
+#include <ostream>
+
+#include "cpu/core.hh"
+#include "mem/hierarchy.hh"
+#include "soe/engine.hh"
+
+namespace soefair
+{
+namespace harness
+{
+
+struct MachineConfig
+{
+    cpu::CoreConfig core;
+    mem::HierarchyConfig mem;
+    soe::SoeConfig soe;
+
+    /**
+     * The default machine: a P6-derived out-of-order core with the
+     * paper's SOE parameters (Miss_lat ~ 300, Switch_lat ~ 25,
+     * delta = 250,000, max cycles quota = 50,000).
+     */
+    static MachineConfig paperDefault();
+
+    /**
+     * paperDefault with the SOE sampling period and max-cycles quota
+     * scaled down (delta = 100k, quota = 25k) so that scaled-down
+     * runs (hundreds of thousands of instructions instead of the
+     * paper's 6M+) see a comparable number of recalculation windows.
+     * The delta:quota ratio and every other parameter are unchanged.
+     */
+    static MachineConfig benchDefault();
+
+    /** Human-readable dump (bench/table3_machine_config). */
+    void print(std::ostream &os) const;
+};
+
+} // namespace harness
+} // namespace soefair
+
+#endif // SOEFAIR_HARNESS_MACHINE_CONFIG_HH

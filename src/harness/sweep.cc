@@ -1,0 +1,209 @@
+#include "harness/sweep.hh"
+
+#include <fstream>
+#include <iomanip>
+
+#include "core/metrics.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace soefair
+{
+namespace harness
+{
+
+std::uint64_t
+pairSeed(unsigned idx)
+{
+    return deriveSeed(0x50EFA1Full, idx + 1);
+}
+
+const LevelResult &
+PairResult::level(double f) const
+{
+    for (const auto &l : levels) {
+        if (l.targetF == f)
+            return l;
+    }
+    fatal("no level F=", f, " for pair ", label());
+}
+
+EvaluationSweep::EvaluationSweep(const MachineConfig &machine,
+                                 const RunConfig &run_config)
+    : runner(machine), rc(run_config)
+{
+}
+
+std::vector<double>
+EvaluationSweep::standardLevels()
+{
+    return {0.0, 0.25, 0.5, 1.0};
+}
+
+StRunResult &
+EvaluationSweep::singleThread(const std::string &bench,
+                              std::uint64_t seed,
+                              std::ostream *progress)
+{
+    auto key = std::make_pair(bench, seed);
+    auto it = stCache.find(key);
+    if (it != stCache.end())
+        return it->second;
+    if (progress)
+        *progress << "  [ST]  " << bench << std::endl;
+    StRunResult res = runner.runSingleThread(
+        ThreadSpec::benchmark(bench, seed), rc);
+    return stCache.emplace(key, std::move(res)).first->second;
+}
+
+PairResult
+EvaluationSweep::runPair(const std::string &bench_a,
+                         const std::string &bench_b,
+                         const std::vector<double> &f_levels,
+                         std::ostream *progress)
+{
+    PairResult pr;
+    pr.nameA = bench_a;
+    pr.nameB = bench_b;
+
+    const std::uint64_t seedA = pairSeed(0);
+    const std::uint64_t seedB =
+        bench_a == bench_b ? pairSeed(1) : pairSeed(0);
+
+    pr.stA = singleThread(bench_a, seedA, progress);
+    pr.stB = singleThread(bench_b, seedB, progress);
+
+    const std::vector<ThreadSpec> specs = {
+        ThreadSpec::benchmark(bench_a, seedA),
+        ThreadSpec::benchmark(bench_b, seedB),
+    };
+
+    for (double f : f_levels) {
+        if (progress) {
+            *progress << "  [SOE] " << pr.label() << " F=" << f
+                      << std::endl;
+        }
+        LevelResult lr;
+        lr.targetF = f;
+        if (f <= 0.0) {
+            soe::MissOnlyPolicy policy;
+            lr.run = runner.runSoe(specs, policy, rc);
+        } else {
+            soe::FairnessPolicy policy(
+                f, runner.machine().soe.missLatency, 2);
+            lr.run = runner.runSoe(specs, policy, rc);
+        }
+
+        lr.speedups = {lr.run.threads[0].ipc / pr.stA.ipc,
+                       lr.run.threads[1].ipc / pr.stB.ipc};
+        lr.fairness = core::fairnessOfSpeedups(lr.speedups);
+        const double stMean = 0.5 * (pr.stA.ipc + pr.stB.ipc);
+        lr.speedupOverSt = lr.run.ipcTotal / stMean;
+        pr.levels.push_back(std::move(lr));
+    }
+    return pr;
+}
+
+void
+savePairResults(const std::string &path, const std::string &key,
+                const std::vector<PairResult> &results)
+{
+    std::ofstream os(path);
+    if (!os) {
+        warn("cannot write sweep cache '", path, "'");
+        return;
+    }
+    os << key << "\n";
+    os << results.size() << "\n";
+    os.precision(17);
+    for (const auto &pr : results) {
+        os << pr.nameA << " " << pr.nameB << " " << pr.stA.ipc << " "
+           << pr.stB.ipc << " " << pr.levels.size() << "\n";
+        for (const auto &l : pr.levels) {
+            os << l.targetF << " " << l.run.threads[0].ipc << " "
+               << l.run.threads[1].ipc << " " << l.run.ipcTotal << " "
+               << l.fairness << " " << l.speedupOverSt << " "
+               << l.run.cycles << " " << l.run.switchesMiss << " "
+               << l.run.switchesForced << " " << l.run.switchesQuota
+               << "\n";
+        }
+    }
+}
+
+bool
+loadPairResults(const std::string &path, const std::string &key,
+                std::vector<PairResult> &results)
+{
+    std::ifstream is(path);
+    if (!is)
+        return false;
+    std::string header;
+    if (!std::getline(is, header) || header != key)
+        return false;
+
+    std::size_t numPairs = 0;
+    is >> numPairs;
+    if (!is || numPairs == 0 || numPairs > 1000)
+        return false;
+    results.clear();
+    for (std::size_t i = 0; i < numPairs; ++i) {
+        PairResult pr;
+        std::size_t numLevels = 0;
+        is >> pr.nameA >> pr.nameB >> pr.stA.ipc >> pr.stB.ipc
+           >> numLevels;
+        if (!is || numLevels > 32)
+            return false;
+        for (std::size_t j = 0; j < numLevels; ++j) {
+            LevelResult l;
+            l.run.threads.resize(2);
+            is >> l.targetF >> l.run.threads[0].ipc
+               >> l.run.threads[1].ipc >> l.run.ipcTotal >> l.fairness
+               >> l.speedupOverSt >> l.run.cycles
+               >> l.run.switchesMiss >> l.run.switchesForced
+               >> l.run.switchesQuota;
+            if (!is)
+                return false;
+            l.speedups = {l.run.threads[0].ipc / pr.stA.ipc,
+                          l.run.threads[1].ipc / pr.stB.ipc};
+            pr.levels.push_back(std::move(l));
+        }
+        results.push_back(std::move(pr));
+    }
+    return true;
+}
+
+void
+writePairResultsCsv(std::ostream &os,
+                    const std::vector<PairResult> &results)
+{
+    os << "pair,F,ipcST_A,ipcST_B,ipcA,ipcB,ipcTotal,fairness,"
+       << "speedupOverST,cycles,switchesMiss,switchesForced,"
+       << "switchesQuota\n";
+    os << std::setprecision(6);
+    for (const auto &pr : results) {
+        for (const auto &l : pr.levels) {
+            os << pr.label() << ',' << l.targetF << ',' << pr.stA.ipc
+               << ',' << pr.stB.ipc << ',' << l.run.threads[0].ipc
+               << ',' << l.run.threads[1].ipc << ',' << l.run.ipcTotal
+               << ',' << l.fairness << ',' << l.speedupOverSt << ','
+               << l.run.cycles << ',' << l.run.switchesMiss << ','
+               << l.run.switchesForced << ',' << l.run.switchesQuota
+               << "\n";
+        }
+    }
+}
+
+std::vector<PairResult>
+EvaluationSweep::runEvaluation(std::ostream *progress)
+{
+    std::vector<PairResult> results;
+    for (const auto &[a, b] : workload::spec::evaluationPairs()) {
+        if (progress)
+            *progress << "pair " << a << ":" << b << std::endl;
+        results.push_back(runPair(a, b, standardLevels(), progress));
+    }
+    return results;
+}
+
+} // namespace harness
+} // namespace soefair

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The paper's evaluation sweep: the 16 two-thread benchmark
+ * combinations, each run single-threaded and under SOE at several
+ * enforcement levels (F = 0, 1/4, 1/2, 1). Figures 6, 7 and 8 are
+ * different projections of this one dataset.
+ */
+
+#ifndef SOEFAIR_HARNESS_SWEEP_HH
+#define SOEFAIR_HARNESS_SWEEP_HH
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+
+namespace soefair
+{
+namespace harness
+{
+
+/** One pair at one enforcement level. */
+struct LevelResult
+{
+    double targetF = 0.0;
+    SoeRunResult run;
+    /** Speedups IPC_SOE_j / IPC_ST_j. */
+    std::vector<double> speedups;
+    /** Achieved fairness (Eq. 4) from real single-thread IPCs. */
+    double fairness = 0.0;
+    /** Total throughput / mean single-thread IPC. */
+    double speedupOverSt = 0.0;
+};
+
+/** One benchmark pair across every enforcement level. */
+struct PairResult
+{
+    std::string nameA;
+    std::string nameB;
+    StRunResult stA;
+    StRunResult stB;
+    std::vector<LevelResult> levels;
+
+    std::string label() const { return nameA + ":" + nameB; }
+    const LevelResult &level(double f) const;
+};
+
+/**
+ * Evaluation driver. Single-thread reference runs are cached by
+ * (benchmark, seed) so homogeneous pairs and repeated benchmarks do
+ * not re-simulate them.
+ */
+class EvaluationSweep
+{
+  public:
+    EvaluationSweep(const MachineConfig &machine, const RunConfig &rc);
+
+    /**
+     * Run one pair at the given F levels (F = 0 means the miss-only
+     * policy). @param progress Optional stream for progress lines.
+     */
+    PairResult runPair(const std::string &bench_a,
+                       const std::string &bench_b,
+                       const std::vector<double> &f_levels,
+                       std::ostream *progress = nullptr);
+
+    /** Run the paper's 16 pairs at the standard four levels. */
+    std::vector<PairResult> runEvaluation(
+        std::ostream *progress = nullptr);
+
+    /** The standard enforcement levels: 0, 1/4, 1/2, 1. */
+    static std::vector<double> standardLevels();
+
+    const RunConfig &runConfig() const { return rc; }
+
+  private:
+    StRunResult &singleThread(const std::string &bench,
+                              std::uint64_t seed,
+                              std::ostream *progress);
+
+    Runner runner;
+    RunConfig rc;
+    std::map<std::pair<std::string, std::uint64_t>, StRunResult>
+        stCache;
+};
+
+/** Seed used for thread `idx` of a pair (homogeneous pairs get
+ *  decorrelated streams, the paper's 1M-instruction offset). */
+std::uint64_t pairSeed(unsigned idx);
+
+/**
+ * Persist/load a sweep's results (the fields Figures 6-8 need) to a
+ * text cache file. `key` identifies the configuration that produced
+ * the results: loading fails (returns false) when the file's key
+ * differs, so stale caches are never reused.
+ */
+void savePairResults(const std::string &path, const std::string &key,
+                     const std::vector<PairResult> &results);
+bool loadPairResults(const std::string &path, const std::string &key,
+                     std::vector<PairResult> &results);
+
+/** Write the per-level results as CSV (machine-readable sweeps). */
+void writePairResultsCsv(std::ostream &os,
+                         const std::vector<PairResult> &results);
+
+} // namespace harness
+} // namespace soefair
+
+#endif // SOEFAIR_HARNESS_SWEEP_HH

@@ -1,0 +1,108 @@
+#include "harness/system.hh"
+
+#include "sim/logging.hh"
+
+namespace soefair
+{
+namespace harness
+{
+
+System::System(const MachineConfig &config,
+               const std::vector<ThreadSpec> &specs)
+    : root("system"), cfg(config)
+{
+    soefair_assert(!specs.empty(), "system needs at least one thread");
+
+    hier = std::make_unique<mem::Hierarchy>(cfg.mem, eventQueue, &root);
+    coreInst = std::make_unique<cpu::Core>(cfg.core, *hier, &root);
+
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (!specs[i].tracePath.empty()) {
+            sources.push_back(
+                std::make_unique<workload::TraceReplaySource>(
+                    specs[i].tracePath));
+        } else {
+            sources.push_back(
+                std::make_unique<workload::WorkloadGenerator>(
+                    specs[i].profile, ThreadID(i), specs[i].seed));
+        }
+        streams.push_back(
+            std::make_unique<workload::InstStream>(*sources.back()));
+        coreInst->addThread(streams.back().get());
+    }
+}
+
+workload::InstSource &
+System::source(ThreadID tid)
+{
+    soefair_assert(tid >= 0 && std::size_t(tid) < sources.size(),
+                   "source() bad tid");
+    return *sources[std::size_t(tid)];
+}
+
+workload::WorkloadGenerator &
+System::generator(ThreadID tid)
+{
+    auto *gen = dynamic_cast<workload::WorkloadGenerator *>(
+        &source(tid));
+    if (!gen)
+        fatal("thread ", tid, " is trace-driven; it has no generator");
+    return *gen;
+}
+
+void
+System::start(cpu::SwitchController *controller)
+{
+    soefair_assert(!started, "System::start called twice");
+    started = true;
+    coreInst->setController(controller);
+    coreInst->start(0, currentTick);
+}
+
+void
+System::step(std::uint64_t n)
+{
+    soefair_assert(started, "System::step before start");
+    for (std::uint64_t i = 0; i < n; ++i) {
+        ++currentTick;
+        eventQueue.runUntil(currentTick);
+        coreInst->tick(currentTick);
+    }
+}
+
+void
+System::warmCaches(std::uint64_t instrs_per_thread)
+{
+    soefair_assert(!started,
+                   "warmCaches must run before System::start");
+    constexpr std::uint64_t chunk = 4096;
+    std::vector<std::uint64_t> remaining(sources.size(),
+                                         instrs_per_thread);
+    bool any = true;
+    while (any) {
+        any = false;
+        for (std::size_t t = 0; t < sources.size(); ++t) {
+            const std::uint64_t n = std::min(chunk, remaining[t]);
+            remaining[t] -= n;
+            if (remaining[t] > 0)
+                any = true;
+            for (std::uint64_t i = 0; i < n; ++i) {
+                const isa::MicroOp op = sources[t]->next();
+                hier->warmFetch(ThreadID(t), op.pc);
+                if (op.isLoad())
+                    hier->warmData(ThreadID(t), op.memAddr, false);
+                else if (op.isStore())
+                    hier->warmData(ThreadID(t), op.memAddr, true);
+                else if (op.isBranch()) {
+                    // Warm the (shared) predictor exactly as the
+                    // pipeline would train it.
+                    auto &bp = coreInst->branchPredictor();
+                    bp.update(op, bp.predict(op));
+                }
+            }
+        }
+    }
+}
+
+} // namespace harness
+} // namespace soefair

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * System builder: wires workloads, memory hierarchy, core and the
+ * SOE engine into a runnable simulated machine.
+ */
+
+#ifndef SOEFAIR_HARNESS_SYSTEM_HH
+#define SOEFAIR_HARNESS_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "harness/machine_config.hh"
+#include "mem/hierarchy.hh"
+#include "sim/event_queue.hh"
+#include "stats/stats.hh"
+#include "workload/generator.hh"
+#include "workload/inst_stream.hh"
+#include "workload/profile.hh"
+#include "workload/trace_file.hh"
+
+namespace soefair
+{
+namespace harness
+{
+
+/** One hardware thread's workload. */
+struct ThreadSpec
+{
+    workload::Profile profile;
+    std::uint64_t seed = 1;
+    /**
+     * If set, the thread replays this binary trace file instead of
+     * running the generator (trace-driven mode); profile and seed
+     * are then ignored.
+     */
+    std::string tracePath;
+
+    static ThreadSpec
+    benchmark(const std::string &name, std::uint64_t seed_)
+    {
+        ThreadSpec s;
+        s.profile = workload::spec::byName(name);
+        s.seed = seed_;
+        return s;
+    }
+
+    static ThreadSpec
+    trace(const std::string &path)
+    {
+        ThreadSpec s;
+        s.tracePath = path;
+        return s;
+    }
+};
+
+class System
+{
+  public:
+    System(const MachineConfig &config,
+           const std::vector<ThreadSpec> &specs);
+
+    cpu::Core &core() { return *coreInst; }
+    mem::Hierarchy &hierarchy() { return *hier; }
+    EventQueue &events() { return eventQueue; }
+    /** The thread's generator; fatal() for trace-driven threads. */
+    workload::WorkloadGenerator &generator(ThreadID tid);
+    /** The thread's instruction source (generator or trace). */
+    workload::InstSource &source(ThreadID tid);
+    statistics::Group &stats() { return root; }
+
+    unsigned numThreads() const { return unsigned(sources.size()); }
+    Tick now() const { return currentTick; }
+
+    /** Install the switch controller and begin with thread 0. */
+    void start(cpu::SwitchController *controller);
+
+    /** Advance exactly n cycles. */
+    void step(std::uint64_t n);
+
+    /**
+     * Functional cache warmup: stream `instrs_per_thread` upcoming
+     * instructions of every thread through the caches (round-robin
+     * in chunks so threads' lines interleave), consuming the
+     * generators. No cycles pass.
+     */
+    void warmCaches(std::uint64_t instrs_per_thread);
+
+    /** Dump the full stat tree. */
+    void dumpStats(std::ostream &os) const { root.dump(os); }
+
+  private:
+    statistics::Group root;
+    MachineConfig cfg;
+    EventQueue eventQueue;
+    std::unique_ptr<mem::Hierarchy> hier;
+    std::unique_ptr<cpu::Core> coreInst;
+    std::vector<std::unique_ptr<workload::InstSource>> sources;
+    std::vector<std::unique_ptr<workload::InstStream>> streams;
+    Tick currentTick = 0;
+    bool started = false;
+};
+
+} // namespace harness
+} // namespace soefair
+
+#endif // SOEFAIR_HARNESS_SYSTEM_HH

@@ -1,0 +1,68 @@
+#include "harness/table.hh"
+
+#include <iomanip>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace soefair
+{
+namespace harness
+{
+
+TextTable::TextTable(std::vector<std::string> header)
+    : head(std::move(header))
+{
+    soefair_assert(!head.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    soefair_assert(cells.size() == head.size(),
+                   "row has ", cells.size(), " cells, expected ",
+                   head.size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(head.size());
+    for (std::size_t c = 0; c < head.size(); ++c)
+        width[c] = head[c].size();
+    for (const auto &row : rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c == 0)
+                os << std::left << std::setw(int(width[c])) << row[c];
+            else
+                os << "  " << std::right << std::setw(int(width[c]))
+                   << row[c];
+        }
+        os << "\n";
+    };
+
+    emit(head);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < head.size(); ++c)
+        total += width[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows)
+        emit(row);
+}
+
+} // namespace harness
+} // namespace soefair

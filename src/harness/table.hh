@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fixed-width text tables for the bench regenerators.
+ */
+
+#ifndef SOEFAIR_HARNESS_TABLE_HH
+#define SOEFAIR_HARNESS_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace soefair
+{
+namespace harness
+{
+
+/**
+ * A simple left-aligned-first-column table: set the header, add
+ * rows of cells, print. Column widths auto-size to the content.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Add a row; must have as many cells as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with the given precision. */
+    static std::string num(double v, int precision = 3);
+
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace harness
+} // namespace soefair
+
+#endif // SOEFAIR_HARNESS_TABLE_HH

@@ -1,0 +1,77 @@
+#include "isa/micro_op.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace soefair
+{
+namespace isa
+{
+
+const char *
+opClassName(OpClass c)
+{
+    switch (c) {
+      case OpClass::IntAlu: return "IntAlu";
+      case OpClass::IntMul: return "IntMul";
+      case OpClass::IntDiv: return "IntDiv";
+      case OpClass::FpAdd: return "FpAdd";
+      case OpClass::FpMul: return "FpMul";
+      case OpClass::FpDiv: return "FpDiv";
+      case OpClass::Load: return "Load";
+      case OpClass::Store: return "Store";
+      case OpClass::BranchCond: return "BranchCond";
+      case OpClass::BranchUncond: return "BranchUncond";
+      case OpClass::Nop: return "Nop";
+      case OpClass::Pause: return "Pause";
+      default: panic("opClassName: bad op class");
+    }
+}
+
+unsigned
+opLatency(OpClass c)
+{
+    switch (c) {
+      case OpClass::IntAlu: return 1;
+      case OpClass::IntMul: return 3;
+      case OpClass::IntDiv: return 20;
+      case OpClass::FpAdd: return 3;
+      case OpClass::FpMul: return 5;
+      case OpClass::FpDiv: return 20;
+      // Loads/stores compute their address in 1 cycle; cache time is
+      // added by the LSQ from the memory hierarchy.
+      case OpClass::Load: return 1;
+      case OpClass::Store: return 1;
+      case OpClass::BranchCond: return 1;
+      case OpClass::BranchUncond: return 1;
+      case OpClass::Nop: return 1;
+      case OpClass::Pause: return 1;
+      default: panic("opLatency: bad op class");
+    }
+}
+
+bool
+opPipelined(OpClass c)
+{
+    return c != OpClass::IntDiv && c != OpClass::FpDiv;
+}
+
+std::string
+MicroOp::toString() const
+{
+    std::ostringstream os;
+    os << "[" << seqNum << " pc=0x" << std::hex << pc << std::dec
+       << " " << opClassName(op);
+    if (isMem())
+        os << " addr=0x" << std::hex << memAddr << std::dec
+           << " size=" << unsigned(memSize);
+    if (isBranch())
+        os << (taken ? " T->0x" : " NT 0x") << std::hex
+           << (taken ? target : nextPc()) << std::dec;
+    os << "]";
+    return os.str();
+}
+
+} // namespace isa
+} // namespace soefair

@@ -1,0 +1,30 @@
+#include "mem/bus.hh"
+
+#include <algorithm>
+
+namespace soefair
+{
+namespace mem
+{
+
+Bus::Bus(unsigned occupancy_cycles, statistics::Group *stats_parent)
+    : statsGroup("bus", stats_parent),
+      transfers(&statsGroup, "transfers", "line transfers carried"),
+      queuedCycles(&statsGroup, "queuedCycles",
+                   "cycles requests waited for the bus"),
+      occCycles(occupancy_cycles)
+{
+}
+
+Tick
+Bus::acquire(Tick when)
+{
+    const Tick start = std::max(when, busFree);
+    queuedCycles += start - when;
+    busFree = start + occCycles;
+    ++transfers;
+    return busFree;
+}
+
+} // namespace mem
+} // namespace soefair

@@ -1,0 +1,124 @@
+#include "mem/hierarchy.hh"
+
+namespace soefair
+{
+namespace mem
+{
+
+Hierarchy::Hierarchy(const HierarchyConfig &config,
+                     EventQueue &event_queue,
+                     statistics::Group *stats_parent)
+    : cfg(config),
+      statsGroup("mem", stats_parent)
+{
+    frontBus = std::make_unique<Bus>(cfg.busOccupancy, &statsGroup);
+    mainMem = std::make_unique<Memory>(cfg.memLatency, *frontBus,
+                                       &statsGroup);
+    l2Cache = std::make_unique<Cache>(cfg.l2, *mainMem, event_queue,
+                                      &statsGroup);
+    l1iCache = std::make_unique<Cache>(cfg.l1i, *l2Cache, event_queue,
+                                       &statsGroup);
+    l1dCache = std::make_unique<Cache>(cfg.l1d, *l2Cache, event_queue,
+                                       &statsGroup);
+    iTlb = std::make_unique<Tlb>(cfg.itlb, *l2Cache, &statsGroup);
+    dTlb = std::make_unique<Tlb>(cfg.dtlb, *l2Cache, &statsGroup);
+    pf = std::make_unique<StridePrefetcher>(cfg.prefetch, *l2Cache,
+                                            &statsGroup);
+}
+
+HierAccessResult
+Hierarchy::dataAccess(ThreadID tid, Addr addr, Tick when, bool is_write)
+{
+    HierAccessResult out;
+
+    TlbResult tr = dTlb->lookup(tid, addr, when);
+    out.tlbWalked = tr.walked;
+    if (tr.walkMemoryMiss)
+        out.l2Miss = true;
+
+    MemReq req;
+    req.addr = addr;
+    req.isWrite = is_write;
+    req.when = tr.completion;
+    req.tid = tid;
+    AccessResult ar = l1dCache->access(req);
+    if (ar.retry) {
+        out.retry = true;
+        return out;
+    }
+    out.completion = ar.completion;
+    out.l1Miss = !ar.hit;
+    out.l2Miss = out.l2Miss || ar.memoryMiss;
+    return out;
+}
+
+HierAccessResult
+Hierarchy::load(ThreadID tid, Addr addr, Tick when)
+{
+    HierAccessResult res = dataAccess(tid, addr, when, false);
+    if (!res.retry)
+        pf->observe(tid, addr, when);
+    return res;
+}
+
+HierAccessResult
+Hierarchy::store(ThreadID tid, Addr addr, Tick when)
+{
+    return dataAccess(tid, addr, when, true);
+}
+
+HierAccessResult
+Hierarchy::fetch(ThreadID tid, Addr addr, Tick when)
+{
+    HierAccessResult out;
+
+    TlbResult tr = iTlb->lookup(tid, addr, when);
+    out.tlbWalked = tr.walked;
+    if (tr.walkMemoryMiss)
+        out.l2Miss = true;
+
+    MemReq req;
+    req.addr = addr;
+    req.when = tr.completion;
+    req.tid = tid;
+    AccessResult ar = l1iCache->access(req);
+    if (ar.retry) {
+        out.retry = true;
+        return out;
+    }
+    out.completion = ar.completion;
+    out.l1Miss = !ar.hit;
+    out.l2Miss = out.l2Miss || ar.memoryMiss;
+    return out;
+}
+
+void
+Hierarchy::warmData(ThreadID tid, Addr addr, bool is_write)
+{
+    // Warm the translation path too (TLB entry + page-table line),
+    // like the paper's 10M-instruction warmup would.
+    const Addr pt = dTlb->warmInstall(tid, addr);
+    l2Cache->warmTouch(pt, false);
+    if (!l1dCache->warmTouch(addr, is_write))
+        l2Cache->warmTouch(addr, false);
+}
+
+void
+Hierarchy::warmFetch(ThreadID tid, Addr addr)
+{
+    const Addr pt = iTlb->warmInstall(tid, addr);
+    l2Cache->warmTouch(pt, false);
+    if (!l1iCache->warmTouch(addr, false))
+        l2Cache->warmTouch(addr, false);
+}
+
+void
+Hierarchy::checkInvariants() const
+{
+    l1iCache->checkInvariants();
+    l1dCache->checkInvariants();
+    l2Cache->checkInvariants();
+}
+
+} // namespace mem
+} // namespace soefair

@@ -1,0 +1,36 @@
+#include "mem/memory.hh"
+
+namespace soefair
+{
+namespace mem
+{
+
+Memory::Memory(unsigned latency_cycles, Bus &front_bus,
+               statistics::Group *stats_parent)
+    : statsGroup("memory", stats_parent),
+      reads(&statsGroup, "reads", "line reads serviced"),
+      writes(&statsGroup, "writes", "writeback lines received"),
+      latCycles(latency_cycles),
+      bus(front_bus)
+{
+}
+
+AccessResult
+Memory::access(const MemReq &req)
+{
+    AccessResult r;
+    if (req.writeback || req.isWrite) {
+        ++writes;
+        // Writes are posted: they occupy the bus but nothing waits
+        // on them.
+        r.completion = bus.acquire(req.when);
+        return r;
+    }
+    ++reads;
+    r.completion = bus.acquire(req.when) + latCycles;
+    r.memoryMiss = true;
+    return r;
+}
+
+} // namespace mem
+} // namespace soefair

@@ -1,0 +1,98 @@
+#include "mem/prefetcher.hh"
+
+#include "sim/logging.hh"
+
+namespace soefair
+{
+namespace mem
+{
+
+StridePrefetcher::StridePrefetcher(const PrefetcherConfig &config,
+                                   MemLevel &target_level,
+                                   statistics::Group *stats_parent)
+    : statsGroup("prefetcher", stats_parent),
+      issued(&statsGroup, "issued", "prefetch requests issued"),
+      dropped(&statsGroup, "dropped",
+              "prefetches rejected by the target (MSHRs full)"),
+      cfg(config),
+      target(target_level)
+{
+    soefair_assert(cfg.tableEntries > 0, "prefetcher needs entries");
+    table.resize(cfg.tableEntries);
+}
+
+void
+StridePrefetcher::observe(ThreadID tid, Addr addr, Tick when)
+{
+    if (!cfg.enabled)
+        return;
+
+    const Addr page = addr >> 12;
+
+    Entry *hit = nullptr;
+    Entry *victim = &table[0];
+    for (auto &e : table) {
+        if (e.valid && e.page == page) {
+            hit = &e;
+            break;
+        }
+        if (!e.valid) {
+            victim = &e;
+        } else if (victim->valid &&
+                   e.lruStamp < victim->lruStamp) {
+            victim = &e;
+        }
+    }
+
+    if (!hit) {
+        victim->valid = true;
+        victim->page = page;
+        victim->lastAddr = addr;
+        victim->stride = 0;
+        victim->hits = 0;
+        victim->lruStamp = ++lruCounter;
+        return;
+    }
+
+    hit->lruStamp = ++lruCounter;
+    const std::int64_t stride =
+        std::int64_t(addr) - std::int64_t(hit->lastAddr);
+    hit->lastAddr = addr;
+    if (stride == 0)
+        return;
+    if (stride == hit->stride) {
+        if (hit->hits < 1000)
+            ++hit->hits;
+    } else {
+        hit->stride = stride;
+        hit->hits = 1;
+        return;
+    }
+
+    if (hit->hits < cfg.confidence)
+        return;
+
+    // Confident: fetch the next `degree` strided lines.
+    Addr last = lineAddr(addr);
+    Addr next = addr;
+    for (unsigned d = 1; d <= cfg.degree; ++d) {
+        next = Addr(std::int64_t(next) + stride);
+        const Addr line = lineAddr(next);
+        if (line == last)
+            continue; // same line, nothing new to fetch
+        last = line;
+        MemReq req;
+        req.addr = line;
+        req.when = when;
+        req.tid = tid;
+        req.prefetch = true;
+        AccessResult res = target.access(req);
+        if (res.retry)
+            ++dropped;
+        else
+            ++issued;
+    }
+}
+
+} // namespace mem
+} // namespace soefair

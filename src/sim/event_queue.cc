@@ -1,0 +1,34 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace soefair
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    soefair_assert(cb, "scheduling a null event callback");
+    heap.push(Entry{when, nextOrder++, std::move(cb)});
+}
+
+void
+EventQueue::runUntil(Tick now)
+{
+    while (!heap.empty() && heap.top().when <= now) {
+        // Copy out before pop so the callback may schedule.
+        Callback cb = heap.top().cb;
+        heap.pop();
+        cb();
+    }
+}
+
+Tick
+EventQueue::nextEventTick() const
+{
+    return heap.empty() ? maxTick : heap.top().when;
+}
+
+} // namespace soefair

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * A minimal discrete event queue.
+ *
+ * The core itself is cycle-stepped, but the memory system schedules
+ * future completions (miss fills, writeback slots) on this queue.
+ * Events scheduled for the same tick fire in insertion order, which
+ * keeps runs deterministic.
+ */
+
+#ifndef SOEFAIR_SIM_EVENT_QUEUE_HH
+#define SOEFAIR_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace soefair
+{
+
+/** Priority queue of (tick, callback) pairs. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule cb to run at tick when (>= current service point). */
+    void schedule(Tick when, Callback cb);
+
+    /**
+     * Run every event scheduled at or before now, in (tick,
+     * insertion-order) order. Events may schedule further events;
+     * those also run if they fall within now.
+     */
+    void runUntil(Tick now);
+
+    /** Tick of the earliest pending event, or maxTick if empty. */
+    Tick nextEventTick() const;
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap.size(); }
+
+    bool empty() const { return heap.empty(); }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t order;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.order > b.order;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    std::uint64_t nextOrder = 0;
+};
+
+} // namespace soefair
+
+#endif // SOEFAIR_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,19 @@
+#include "sim/logging.hh"
+
+#include <iostream>
+
+namespace soefair
+{
+namespace logging
+{
+
+bool verbose = false;
+
+void
+printMessage(const char *prefix, const std::string &msg)
+{
+    std::cerr << prefix << msg << std::endl;
+}
+
+} // namespace logging
+} // namespace soefair

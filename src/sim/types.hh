@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fundamental scalar types used throughout the simulator.
+ *
+ * Conventions follow gem5: a Tick is one processor cycle (the core is
+ * cycle-stepped and every latency in the machine is expressed in core
+ * cycles), Addr is a byte address in the simulated physical address
+ * space, and InstSeqNum is a monotonically increasing per-thread
+ * dynamic instruction sequence number used as the renaming tag.
+ */
+
+#ifndef SOEFAIR_SIM_TYPES_HH
+#define SOEFAIR_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace soefair
+{
+
+/** One core clock cycle. */
+using Tick = std::uint64_t;
+
+/** Byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/** Dynamic instruction sequence number (per thread, starts at 1). */
+using InstSeqNum = std::uint64_t;
+
+/** Hardware thread identifier. */
+using ThreadID = std::int16_t;
+
+/** Sentinel for "no thread". */
+constexpr ThreadID invalidThreadId = -1;
+
+/** Sentinel tick meaning "never" / "not scheduled". */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Sentinel sequence number meaning "no instruction". */
+constexpr InstSeqNum invalidSeqNum = 0;
+
+} // namespace soefair
+
+#endif // SOEFAIR_SIM_TYPES_HH

@@ -1,0 +1,272 @@
+#include "soe/engine.hh"
+
+#include "sim/logging.hh"
+
+namespace soefair
+{
+namespace soe
+{
+
+SoeEngine::SoeEngine(const SoeConfig &config, SchedulingPolicy &pol,
+                     unsigned num_threads,
+                     statistics::Group *stats_parent)
+    : statsGroup("soe", stats_parent),
+      samples(&statsGroup, "samples", "delta windows sampled"),
+      missEvents(&statsGroup, "missEvents",
+                 "deduplicated head-of-ROB L2-miss events"),
+      switchLatency(&statsGroup, "switchLatency",
+                    "switch-out to first-retire cycles"),
+      instrsPerSwitch(&statsGroup, "instrsPerSwitch",
+                      "instructions retired per residency"),
+      residencyCycles(&statsGroup, "residencyCycles",
+                      "cycles per residency"),
+      cfg(config),
+      policy(pol),
+      nextSampleTick(config.delta)
+{
+    soefair_assert(num_threads >= 1, "engine needs threads");
+    soefair_assert(cfg.delta > 0, "delta must be positive");
+    soefair_assert(cfg.maxCyclesQuota == 0 ||
+                   cfg.maxCyclesQuota <= cfg.delta / num_threads,
+                   "max cycles quota must be <= delta / numThreads "
+                   "so every thread runs in each window");
+    threads.resize(num_threads);
+    lastEstimates.resize(num_threads);
+    for (unsigned i = 0; i < num_threads; ++i)
+        threads[i].tid = ThreadID(i);
+}
+
+ThreadContext &
+SoeEngine::ctx(ThreadID tid)
+{
+    soefair_assert(tid >= 0 && std::size_t(tid) < threads.size(),
+                   "bad tid ", tid);
+    return threads[std::size_t(tid)];
+}
+
+const ThreadContext &
+SoeEngine::context(ThreadID tid) const
+{
+    soefair_assert(tid >= 0 && std::size_t(tid) < threads.size(),
+                   "bad tid ", tid);
+    return threads[std::size_t(tid)];
+}
+
+ThreadID
+SoeEngine::nextReady(ThreadID tid, Tick now) const
+{
+    const unsigned n = unsigned(threads.size());
+    for (unsigned i = 1; i < n; ++i) {
+        const unsigned cand = (unsigned(tid) + i) % n;
+        if (threads[cand].ready(now))
+            return ThreadID(cand);
+    }
+    return invalidThreadId;
+}
+
+ThreadID
+SoeEngine::onHeadStall(ThreadID tid, InstSeqNum seq, Tick now,
+                       Tick stall_resolve, bool is_l2_miss)
+{
+    // L1-miss head stalls are only switch events in the Section 6
+    // extended mode.
+    if (!is_l2_miss && !cfg.switchOnL1Miss)
+        return invalidThreadId;
+
+    ThreadContext &c = ctx(tid);
+    if (seq != c.lastMissSeq) {
+        // First time this head instruction is seen blocked: this is
+        // the one counted miss of its overlapped group.
+        c.lastMissSeq = seq;
+        ++c.window.misses;
+        ++c.totals.misses;
+        ++missEvents;
+        // Monitor the event latency (Section 6: variable-latency
+        // events); the remaining stall at detection approximates
+        // the post-switch-out latency the model needs.
+        if (stall_resolve > now) {
+            windowStallCycles += stall_resolve - now;
+            ++windowStallEvents;
+        }
+    }
+
+    if (!policy.switchOnMiss())
+        return invalidThreadId;
+
+    ThreadID next = nextReady(tid, now);
+    if (next == invalidThreadId)
+        return invalidThreadId; // nobody ready: wait out the miss
+
+    c.blockedUntil = stall_resolve;
+    return next;
+}
+
+bool
+SoeEngine::onRetire(ThreadID tid, Tick now)
+{
+    ThreadContext &c = ctx(tid);
+    ++c.window.instrs;
+    ++c.totals.instrs;
+    ++c.instrsThisResidency;
+    if (c.awaitingFirstRetire) {
+        c.awaitingFirstRetire = false;
+        c.residencyStart = now;
+        if (lastSwitchStart != 0 && now >= lastSwitchStart) {
+            switchLatency.sample(double(now - lastSwitchStart));
+            lastSwitchStart = 0;
+        }
+    }
+    return c.deficit.onRetire();
+}
+
+bool
+SoeEngine::onPause(ThreadID tid, Tick now)
+{
+    (void)tid;
+    (void)now;
+    return cfg.switchOnPause;
+}
+
+bool
+SoeEngine::onCycle(ThreadID tid, Tick now)
+{
+    if (now >= nextSampleTick) {
+        sample(now);
+        nextSampleTick += cfg.delta;
+    }
+
+    const ThreadContext &c = ctx(tid);
+    // onSwitchIn is stamped at the end of the drain, which can be a
+    // few cycles in the future relative to this call.
+    if (!c.running || now < c.switchInTick)
+        return false;
+
+    const Tick tsQuota = policy.cycleQuota();
+    if (tsQuota != 0 && now - c.switchInTick >= tsQuota)
+        return true;
+
+    if (cfg.maxCyclesQuota != 0 &&
+        now - c.switchInTick >= cfg.maxCyclesQuota) {
+        return true;
+    }
+    return false;
+}
+
+ThreadID
+SoeEngine::pickNextForced(ThreadID tid, Tick now)
+{
+    return nextReady(tid, now);
+}
+
+void
+SoeEngine::closeResidency(ThreadContext &c, Tick now)
+{
+    if (!c.awaitingFirstRetire) {
+        const Tick ran = now - c.residencyStart;
+        c.window.cycles += ran;
+        c.totals.cycles += ran;
+        c.residencyStart = now;
+    }
+}
+
+void
+SoeEngine::onSwitchOut(ThreadID tid, Tick now,
+                       cpu::SwitchReason reason)
+{
+    (void)reason;
+    ThreadContext &c = ctx(tid);
+    closeResidency(c, now);
+    instrsPerSwitch.sample(c.instrsThisResidency);
+    if (now >= c.switchInTick)
+        residencyCycles.sample(now - c.switchInTick);
+    c.running = false;
+    c.awaitingFirstRetire = true;
+    lastSwitchStart = now;
+}
+
+void
+SoeEngine::onSwitchIn(ThreadID tid, Tick now)
+{
+    ThreadContext &c = ctx(tid);
+    c.running = true;
+    c.awaitingFirstRetire = true;
+    c.switchInTick = now;
+    c.instrsThisResidency = 0;
+    c.deficit.switchIn();
+}
+
+void
+SoeEngine::sample(Tick now)
+{
+    ++samples;
+
+    // Fold the active thread's partial residency into the window so
+    // Cycles_j covers the whole delta period.
+    for (auto &c : threads) {
+        if (c.running)
+            closeResidency(c, now);
+    }
+
+    std::vector<core::HwCounters> window(threads.size());
+    for (std::size_t j = 0; j < threads.size(); ++j)
+        window[j] = threads[j].window;
+
+    lastMeasuredMissLat = windowStallEvents
+        ? double(windowStallCycles) / double(windowStallEvents)
+        : 0.0;
+    windowStallCycles = 0;
+    windowStallEvents = 0;
+
+    const std::vector<double> quotas =
+        policy.recompute(window, lastMeasuredMissLat);
+    soefair_assert(quotas.size() == threads.size(),
+                   "policy returned wrong quota count");
+
+    // Refresh the engine's own estimates (used for reporting even
+    // when the policy ignores them).
+    for (std::size_t j = 0; j < threads.size(); ++j) {
+        core::WindowEstimate e =
+            core::estimateWindow(window[j], cfg.missLatency);
+        if (!e.empty)
+            lastEstimates[j] = e;
+    }
+
+    if (sampleHook) {
+        SampleWindowRecord rec;
+        rec.endTick = now;
+        rec.windowCycles = now - lastSampleTick;
+        rec.measuredMissLat = lastMeasuredMissLat;
+        rec.threads.resize(threads.size());
+        for (std::size_t j = 0; j < threads.size(); ++j) {
+            auto &t = rec.threads[j];
+            t.instrs = window[j].instrs;
+            t.cycles = window[j].cycles;
+            t.misses = window[j].misses;
+            t.estIpcSt = lastEstimates[j].ipcSt;
+            t.ipcSoe = rec.windowCycles
+                ? double(window[j].instrs) / double(rec.windowCycles)
+                : 0.0;
+            t.quota = quotas[j];
+        }
+        sampleHook(rec);
+    }
+
+    for (std::size_t j = 0; j < threads.size(); ++j) {
+        threads[j].quota = quotas[j];
+        threads[j].deficit.setQuota(quotas[j]);
+        threads[j].window.reset();
+    }
+    lastSampleTick = now;
+}
+
+void
+SoeEngine::finalize(Tick now)
+{
+    for (auto &c : threads) {
+        if (c.running)
+            closeResidency(c, now);
+    }
+}
+
+} // namespace soe
+} // namespace soefair

@@ -1,0 +1,35 @@
+#include "soe/policies.hh"
+
+#include <sstream>
+
+namespace soefair
+{
+namespace soe
+{
+
+std::string
+FairnessPolicy::name() const
+{
+    std::ostringstream os;
+    os << "fairness(F=" << enforcer.targetFairness() << ")";
+    return os.str();
+}
+
+std::string
+TimeSharePolicy::name() const
+{
+    std::ostringstream os;
+    os << "timeshare(" << quota << "cyc)";
+    return os.str();
+}
+
+std::string
+FixedQuotaPolicy::name() const
+{
+    std::ostringstream os;
+    os << "fixed-quota(" << ipswQuota << "insts)";
+    return os.str();
+}
+
+} // namespace soe
+} // namespace soefair

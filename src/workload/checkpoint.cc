@@ -1,0 +1,159 @@
+#include "workload/checkpoint.hh"
+
+#include <fstream>
+
+#include "sim/logging.hh"
+
+namespace soefair
+{
+namespace workload
+{
+
+void
+Serializer::putU64(std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf.push_back(std::uint8_t(v >> (8 * i)));
+}
+
+void
+Serializer::putU32(std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf.push_back(std::uint8_t(v >> (8 * i)));
+}
+
+void
+Serializer::putString(const std::string &s)
+{
+    putU32(std::uint32_t(s.size()));
+    for (char c : s)
+        buf.push_back(std::uint8_t(c));
+}
+
+std::uint64_t
+Deserializer::getU64()
+{
+    soefair_assert(pos + 8 <= buf.size(), "checkpoint underrun");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= std::uint64_t(buf[pos++]) << (8 * i);
+    return v;
+}
+
+std::uint32_t
+Deserializer::getU32()
+{
+    soefair_assert(pos + 4 <= buf.size(), "checkpoint underrun");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= std::uint32_t(buf[pos++]) << (8 * i);
+    return v;
+}
+
+std::string
+Deserializer::getString()
+{
+    std::uint32_t n = getU32();
+    soefair_assert(pos + n <= buf.size(), "checkpoint underrun");
+    std::string s(reinterpret_cast<const char *>(buf.data()) + pos, n);
+    pos += n;
+    return s;
+}
+
+LitCheckpoint
+LitCheckpoint::capture(const WorkloadGenerator &gen)
+{
+    LitCheckpoint cp;
+    cp.profName = gen.profile().name;
+    cp.masterSeed = gen.seed();
+    cp.tid = gen.threadId();
+    cp.genState = gen.saveState();
+    return cp;
+}
+
+std::unique_ptr<WorkloadGenerator>
+LitCheckpoint::restore() const
+{
+    auto gen = std::make_unique<WorkloadGenerator>(
+        spec::byName(profName), tid, masterSeed);
+    gen->restoreState(genState);
+    return gen;
+}
+
+std::vector<std::uint8_t>
+LitCheckpoint::serialize() const
+{
+    Serializer s;
+    s.putU64(magic);
+    s.putString(profName);
+    s.putU64(masterSeed);
+    s.putU32(std::uint32_t(std::int32_t(tid)));
+    s.putU64(genState.nextSeqNum);
+    s.putU64(genState.dynCount);
+    s.putU32(genState.curBlock);
+    s.putU32(genState.slotIdx);
+    s.putU32(genState.phaseIdx);
+    s.putU64(genState.instrsInPhase);
+    s.putU64(genState.rngState);
+    s.putU64(genState.chaseDepth);
+    s.putU64(genState.addrState.rngState);
+    s.putU64(genState.addrState.streamCursor);
+    s.putU64(genState.addrState.stridedCursor);
+    s.putU64(genState.addrState.chaseCursor);
+    return s.buffer();
+}
+
+LitCheckpoint
+LitCheckpoint::deserialize(const std::vector<std::uint8_t> &data)
+{
+    Deserializer d(data);
+    if (d.getU64() != magic)
+        fatal("not a soefair checkpoint (bad magic)");
+    LitCheckpoint cp;
+    cp.profName = d.getString();
+    cp.masterSeed = d.getU64();
+    cp.tid = ThreadID(std::int32_t(d.getU32()));
+    cp.genState.nextSeqNum = d.getU64();
+    cp.genState.dynCount = d.getU64();
+    cp.genState.curBlock = d.getU32();
+    cp.genState.slotIdx = d.getU32();
+    cp.genState.phaseIdx = d.getU32();
+    cp.genState.instrsInPhase = d.getU64();
+    cp.genState.rngState = d.getU64();
+    cp.genState.chaseDepth = d.getU64();
+    cp.genState.addrState.rngState = d.getU64();
+    cp.genState.addrState.streamCursor = d.getU64();
+    cp.genState.addrState.stridedCursor = d.getU64();
+    cp.genState.addrState.chaseCursor = d.getU64();
+    soefair_assert(d.exhausted(), "trailing bytes in checkpoint");
+    return cp;
+}
+
+void
+LitCheckpoint::saveFile(const std::string &path) const
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        fatal("cannot open checkpoint file '", path, "' for writing");
+    auto data = serialize();
+    os.write(reinterpret_cast<const char *>(data.data()),
+             std::streamsize(data.size()));
+    if (!os)
+        fatal("short write to checkpoint file '", path, "'");
+}
+
+LitCheckpoint
+LitCheckpoint::loadFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        fatal("cannot open checkpoint file '", path, "'");
+    std::vector<std::uint8_t> data(
+        (std::istreambuf_iterator<char>(is)),
+        std::istreambuf_iterator<char>());
+    return deserialize(data);
+}
+
+} // namespace workload
+} // namespace soefair

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * LIT-style workload checkpoints.
+ *
+ * The paper's methodology uses LITs: architectural checkpoints that
+ * let a detailed simulator start mid-workload. Our analogue snapshots
+ * a WorkloadGenerator (the full architectural state of a synthetic
+ * workload is its generator state) so a run can be split into
+ * warmup + measurement, resumed, or distributed.
+ */
+
+#ifndef SOEFAIR_WORKLOAD_CHECKPOINT_HH
+#define SOEFAIR_WORKLOAD_CHECKPOINT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/generator.hh"
+
+namespace soefair
+{
+namespace workload
+{
+
+/** Little-endian binary writer for checkpoints. */
+class Serializer
+{
+  public:
+    void putU64(std::uint64_t v);
+    void putU32(std::uint32_t v);
+    void putString(const std::string &s);
+
+    const std::vector<std::uint8_t> &buffer() const { return buf; }
+
+  private:
+    std::vector<std::uint8_t> buf;
+};
+
+/** Reader matching Serializer; throws PanicError on underrun. */
+class Deserializer
+{
+  public:
+    explicit Deserializer(std::vector<std::uint8_t> data)
+        : buf(std::move(data)) {}
+
+    std::uint64_t getU64();
+    std::uint32_t getU32();
+    std::string getString();
+
+    bool exhausted() const { return pos == buf.size(); }
+
+  private:
+    std::vector<std::uint8_t> buf;
+    std::size_t pos = 0;
+};
+
+/**
+ * A snapshot of a workload mid-execution: identifies the benchmark
+ * (profile name, seed, thread id) and carries the generator state.
+ */
+class LitCheckpoint
+{
+  public:
+    /** Snapshot a generator. */
+    static LitCheckpoint capture(const WorkloadGenerator &gen);
+
+    /** Recreate the generator at the captured point. */
+    std::unique_ptr<WorkloadGenerator> restore() const;
+
+    /** Binary round trip. */
+    std::vector<std::uint8_t> serialize() const;
+    static LitCheckpoint deserialize(
+        const std::vector<std::uint8_t> &data);
+
+    /** File round trip. */
+    void saveFile(const std::string &path) const;
+    static LitCheckpoint loadFile(const std::string &path);
+
+    const std::string &profileName() const { return profName; }
+    std::uint64_t seed() const { return masterSeed; }
+    ThreadID threadId() const { return tid; }
+    std::uint64_t instructionCount() const { return genState.dynCount; }
+    const GeneratorState &generatorState() const { return genState; }
+
+  private:
+    LitCheckpoint() = default;
+
+    static constexpr std::uint64_t magic = 0x534F454C49543031ull;
+
+    std::string profName;
+    std::uint64_t masterSeed = 0;
+    ThreadID tid = 0;
+    GeneratorState genState;
+};
+
+} // namespace workload
+} // namespace soefair
+
+#endif // SOEFAIR_WORKLOAD_CHECKPOINT_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The dynamic workload generator.
+ *
+ * A WorkloadGenerator walks a static Program and emits the thread's
+ * correct dynamic MicroOp stream: branch outcomes follow each static
+ * branch's bias, non-branch slots sample their op class, operand
+ * dependencies and data addresses from the active Phase. The stream
+ * is a pure function of (profile, thread id, seed): it does not
+ * depend on timing, so a thread executes the identical instruction
+ * sequence whether it runs alone or under SOE — the property the
+ * paper's single-thread-IPC estimation relies on.
+ */
+
+#ifndef SOEFAIR_WORKLOAD_GENERATOR_HH
+#define SOEFAIR_WORKLOAD_GENERATOR_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "isa/micro_op.hh"
+#include "sim/random.hh"
+#include "sim/types.hh"
+#include "workload/address_stream.hh"
+#include "workload/profile.hh"
+#include "workload/program.hh"
+#include "workload/source.hh"
+
+namespace soefair
+{
+namespace workload
+{
+
+/** Serializable generator state (see checkpoint.hh). */
+struct GeneratorState
+{
+    InstSeqNum nextSeqNum = 1;
+    std::uint64_t dynCount = 0;
+    std::uint32_t curBlock = 0;
+    std::uint32_t slotIdx = 0;
+    std::uint32_t phaseIdx = 0;
+    std::uint64_t instrsInPhase = 0;
+    std::uint64_t rngState = 0;
+    std::uint64_t chaseDepth = 0;
+    AddressStreamState addrState;
+};
+
+class WorkloadGenerator : public InstSource
+{
+  public:
+    /**
+     * @param profile Benchmark description.
+     * @param thread_id Address-space slice selector.
+     * @param seed Master seed; all internal streams derive from it.
+     */
+    WorkloadGenerator(const Profile &profile, ThreadID thread_id,
+                      std::uint64_t seed);
+
+    /** Produce the next micro-op in program order. */
+    isa::MicroOp next() override;
+
+    /** Total micro-ops generated so far. */
+    std::uint64_t generated() const { return state.dynCount; }
+
+    const Profile &profile() const { return prof; }
+    const Program &program() const { return *prog; }
+    ThreadID threadId() const { return tid; }
+    std::uint64_t seed() const { return masterSeed; }
+
+    /** Active phase index (tests/calibration peek at this). */
+    std::uint32_t phaseIndex() const { return state.phaseIdx; }
+
+    GeneratorState saveState() const;
+    void restoreState(const GeneratorState &s);
+
+  private:
+    void enterPhase(std::uint32_t idx);
+    void maybeAdvancePhase();
+    isa::RegId sampleDep();
+    isa::RegId ringReg(std::uint64_t dyn_index) const;
+
+    /** Dependency ring size; regs [0, ringSize) cycle as dests. */
+    static constexpr int ringSize = 48;
+    /** Register dedicated to the pointer-chase dependency chain. */
+    static constexpr isa::RegId chaseReg = 63;
+    /** Dependency distance cap (must stay below ringSize). */
+    static constexpr std::uint64_t maxDepDist = 40;
+
+    Profile prof;
+    ThreadID tid;
+    std::uint64_t masterSeed;
+    ProgramPtr prog;
+    Rng rng;
+    AddressStream addrs;
+    DiscreteSampler classSampler;
+    GeneratorState state;
+};
+
+/** Code-slice base address for a thread (1 TiB apart, above data). */
+Addr threadCodeBase(ThreadID tid);
+
+} // namespace workload
+} // namespace soefair
+
+#endif // SOEFAIR_WORKLOAD_GENERATOR_HH

@@ -1,0 +1,60 @@
+#include "workload/inst_stream.hh"
+
+#include "sim/logging.hh"
+
+namespace soefair
+{
+namespace workload
+{
+
+const isa::MicroOp &
+InstStream::fetchNext()
+{
+    const isa::MicroOp &op = peek();
+    ++readIdx;
+    return op;
+}
+
+const isa::MicroOp &
+InstStream::peek()
+{
+    if (readIdx == window.size())
+        window.push_back(source.next());
+    soefair_assert(readIdx < window.size(), "InstStream cursor bad");
+    return window[readIdx];
+}
+
+void
+InstStream::squashAfter(InstSeqNum seq)
+{
+    if (window.empty()) {
+        soefair_assert(seq == invalidSeqNum || readIdx == 0,
+                       "squash with empty window");
+        readIdx = 0;
+        return;
+    }
+    const InstSeqNum front = window.front().seqNum;
+    if (seq == invalidSeqNum || seq + 1 < front) {
+        readIdx = 0;
+        return;
+    }
+    // Ops are buffered with contiguous seqNums.
+    std::size_t idx = std::size_t(seq + 1 - front);
+    soefair_assert(idx <= window.size(),
+                   "squashAfter(", seq, ") beyond generated stream");
+    readIdx = idx;
+}
+
+void
+InstStream::commitUpTo(InstSeqNum seq)
+{
+    while (!window.empty() && window.front().seqNum <= seq) {
+        soefair_assert(readIdx > 0,
+                       "committing an op that was never fetched");
+        window.pop_front();
+        --readIdx;
+    }
+}
+
+} // namespace workload
+} // namespace soefair

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Replay window between a generator and the core's front end.
+ *
+ * An out-of-order core squashes and refetches instructions (branch
+ * mispredicts, thread-switch drains). The generator is forward-only,
+ * so InstStream buffers every generated-but-unretired micro-op: a
+ * squash simply rewinds the read cursor and the same ops are handed
+ * out again, guaranteeing that the retired stream is independent of
+ * timing. Retirement trims the buffer from the front.
+ */
+
+#ifndef SOEFAIR_WORKLOAD_INST_STREAM_HH
+#define SOEFAIR_WORKLOAD_INST_STREAM_HH
+
+#include <deque>
+
+#include "isa/micro_op.hh"
+#include "sim/types.hh"
+#include "workload/source.hh"
+
+namespace soefair
+{
+namespace workload
+{
+
+class InstStream
+{
+  public:
+    explicit InstStream(InstSource &src) : source(src) {}
+
+    /** Next micro-op at the fetch cursor (generates on demand). */
+    const isa::MicroOp &fetchNext();
+
+    /** Peek the op that fetchNext() would return, without advancing. */
+    const isa::MicroOp &peek();
+
+    /**
+     * Rewind the fetch cursor so the op *after* seq is fetched next.
+     * seq = 0 (invalidSeqNum) rewinds to the oldest unretired op.
+     * Every op with seqNum > seq must still be buffered.
+     */
+    void squashAfter(InstSeqNum seq);
+
+    /** Retire (drop) all buffered ops with seqNum <= seq. */
+    void commitUpTo(InstSeqNum seq);
+
+    /** Number of buffered (unretired) ops. */
+    std::size_t buffered() const { return window.size(); }
+
+    /** Sequence number of the oldest unretired op (0 if none). */
+    InstSeqNum
+    oldestSeq() const
+    {
+        return window.empty() ? invalidSeqNum : window.front().seqNum;
+    }
+
+    InstSource &src() { return source; }
+
+  private:
+    InstSource &source;
+    std::deque<isa::MicroOp> window;
+    /** Index into window of the next op to hand to fetch. */
+    std::size_t readIdx = 0;
+};
+
+} // namespace workload
+} // namespace soefair
+
+#endif // SOEFAIR_WORKLOAD_INST_STREAM_HH

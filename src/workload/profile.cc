@@ -1,0 +1,342 @@
+#include "workload/profile.hh"
+
+#include <map>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace soefair
+{
+namespace workload
+{
+
+const char *
+regionKindName(RegionKind k)
+{
+    switch (k) {
+      case RegionKind::Hot: return "Hot";
+      case RegionKind::Stream: return "Stream";
+      case RegionKind::Strided: return "Strided";
+      case RegionKind::Chase: return "Chase";
+      default: panic("regionKindName: bad region kind");
+    }
+}
+
+namespace spec
+{
+namespace
+{
+
+void
+setRegions(Phase &p, double hot, double stream, double strided,
+           double chase)
+{
+    p.wRegion[unsigned(RegionKind::Hot)] = hot;
+    p.wRegion[unsigned(RegionKind::Stream)] = stream;
+    p.wRegion[unsigned(RegionKind::Strided)] = strided;
+    p.wRegion[unsigned(RegionKind::Chase)] = chase;
+}
+
+/**
+ * Build the profile table. The comments give the calibration
+ * intent; `tools`/tests validate the achieved single-thread IPC and
+ * IPM ranges (see tests/test_calibration.cc).
+ */
+std::map<std::string, Profile>
+buildTable()
+{
+    std::map<std::string, Profile> t;
+
+    {
+        // gcc: branchy integer code, large code footprint, mediocre
+        // data locality -> low IPM, low-ish IPC.
+        Profile p;
+        p.name = "gcc";
+        p.code = {2048, 4, 8, 0.18, 0.14};
+        Phase ph;
+        ph.wIntAlu = 1.0; ph.wIntMul = 0.03; ph.wLoad = 0.32;
+        ph.wStore = 0.16;
+        ph.depGeoP = 0.35; ph.depNone = 0.25;
+        ph.hotBytes = 96 * 1024;
+        setRegions(ph, 1.0, 0.020, 0.012, 0.0);
+        p.phases = {ph};
+        t[p.name] = p;
+    }
+    {
+        // eon: mixed int/FP renderer, essentially cache resident ->
+        // very high IPM, high IPC.
+        Profile p;
+        p.name = "eon";
+        p.code = {512, 8, 14, 0.12, 0.04};
+        Phase ph;
+        ph.wIntAlu = 0.9; ph.wFpAdd = 0.25; ph.wFpMul = 0.22;
+        ph.wLoad = 0.30; ph.wStore = 0.12;
+        ph.depGeoP = 0.16; ph.depNone = 0.45;
+        ph.hotBytes = 12 * 1024;
+        setRegions(ph, 1.0, 0.0006, 0.0, 0.0);
+        p.phases = {ph};
+        t[p.name] = p;
+    }
+    {
+        // bzip2: integer compressor, moderate locality.
+        Profile p;
+        p.name = "bzip2";
+        p.code = {768, 5, 10, 0.15, 0.08};
+        Phase ph;
+        ph.wIntAlu = 1.0; ph.wIntMul = 0.02; ph.wLoad = 0.34;
+        ph.wStore = 0.18;
+        ph.depGeoP = 0.28; ph.depNone = 0.32;
+        ph.hotBytes = 192 * 1024;
+        setRegions(ph, 1.0, 0.0024, 0.001, 0.0);
+        p.phases = {ph};
+        t[p.name] = p;
+    }
+    {
+        // galgel: FP linear algebra, blocked and cache resident.
+        Profile p;
+        p.name = "galgel";
+        p.code = {384, 10, 16, 0.10, 0.03};
+        Phase ph;
+        ph.wIntAlu = 0.35; ph.wFpAdd = 0.5; ph.wFpMul = 0.45;
+        ph.wLoad = 0.32; ph.wStore = 0.10;
+        ph.depGeoP = 0.14; ph.depNone = 0.50;
+        ph.hotBytes = 24 * 1024;
+        setRegions(ph, 1.0, 0.0012, 0.0, 0.0);
+        p.phases = {ph};
+        t[p.name] = p;
+    }
+    {
+        // swim: FP streaming over large grids -> miss dominated.
+        Profile p;
+        p.name = "swim";
+        p.code = {256, 10, 18, 0.10, 0.02};
+        Phase ph;
+        ph.wIntAlu = 0.30; ph.wFpAdd = 0.55; ph.wFpMul = 0.40;
+        ph.wLoad = 0.34; ph.wStore = 0.14;
+        ph.depGeoP = 0.12; ph.depNone = 0.50;
+        ph.hotBytes = 32 * 1024;
+        setRegions(ph, 1.0, 0.036, 0.0, 0.0);
+        p.phases = {ph};
+        t[p.name] = p;
+    }
+    {
+        // applu: FP streaming, slightly better locality than swim.
+        Profile p;
+        p.name = "applu";
+        p.code = {320, 10, 16, 0.10, 0.02};
+        Phase ph;
+        ph.wIntAlu = 0.32; ph.wFpAdd = 0.50; ph.wFpMul = 0.42;
+        ph.wFpDiv = 0.010;
+        ph.wLoad = 0.33; ph.wStore = 0.13;
+        ph.depGeoP = 0.13; ph.depNone = 0.48;
+        ph.hotBytes = 48 * 1024;
+        setRegions(ph, 1.0, 0.031, 0.0, 0.0);
+        p.phases = {ph};
+        t[p.name] = p;
+    }
+    {
+        // lucas: FP, long vector sweeps.
+        Profile p;
+        p.name = "lucas";
+        p.code = {192, 12, 18, 0.08, 0.02};
+        Phase ph;
+        ph.wIntAlu = 0.25; ph.wFpAdd = 0.55; ph.wFpMul = 0.5;
+        ph.wLoad = 0.32; ph.wStore = 0.12;
+        ph.depGeoP = 0.13; ph.depNone = 0.50;
+        ph.hotBytes = 40 * 1024;
+        setRegions(ph, 1.0, 0.035, 0.0, 0.0);
+        p.phases = {ph};
+        t[p.name] = p;
+    }
+    {
+        // apsi: FP mixed, mid locality.
+        Profile p;
+        p.name = "apsi";
+        p.code = {512, 8, 14, 0.12, 0.04};
+        Phase ph;
+        ph.wIntAlu = 0.45; ph.wFpAdd = 0.45; ph.wFpMul = 0.35;
+        ph.wLoad = 0.32; ph.wStore = 0.13;
+        ph.depGeoP = 0.18; ph.depNone = 0.42;
+        ph.hotBytes = 128 * 1024;
+        setRegions(ph, 1.0, 0.0022, 0.001, 0.0);
+        p.phases = {ph};
+        t[p.name] = p;
+    }
+    {
+        // mgrid: blocked FP with visible phase behaviour: a
+        // resident smoothing phase alternates with a sweep phase.
+        Profile p;
+        p.name = "mgrid";
+        p.code = {320, 10, 16, 0.10, 0.03};
+        Phase resident;
+        resident.wIntAlu = 0.30; resident.wFpAdd = 0.55;
+        resident.wFpMul = 0.45;
+        resident.wLoad = 0.33; resident.wStore = 0.12;
+        resident.depGeoP = 0.14; resident.depNone = 0.48;
+        resident.hotBytes = 48 * 1024;
+        setRegions(resident, 1.0, 0.012, 0.0, 0.0);
+        resident.duration = 140 * 1000;
+        Phase sweep = resident;
+        setRegions(sweep, 1.0, 0.055, 0.0, 0.0);
+        sweep.duration = 60 * 1000;
+        p.phases = {resident, sweep};
+        t[p.name] = p;
+    }
+    {
+        // art: neural-net FP code whose working set thrashes L2.
+        Profile p;
+        p.name = "art";
+        p.code = {256, 8, 14, 0.10, 0.04};
+        Phase ph;
+        ph.wIntAlu = 0.40; ph.wFpAdd = 0.55; ph.wFpMul = 0.40;
+        ph.wLoad = 0.36; ph.wStore = 0.10;
+        ph.depGeoP = 0.18; ph.depNone = 0.42;
+        ph.hotBytes = 64 * 1024;
+        ph.stridedBytes = 24ull * 1024 * 1024;
+        ph.strideBytes = 128;
+        setRegions(ph, 1.0, 0.0, 0.025, 0.0);
+        p.phases = {ph};
+        t[p.name] = p;
+    }
+    {
+        // mcf: pointer chasing, serialized L2 misses, very low IPC.
+        Profile p;
+        p.name = "mcf";
+        p.code = {640, 4, 9, 0.16, 0.10};
+        Phase ph;
+        ph.wIntAlu = 1.0; ph.wLoad = 0.38; ph.wStore = 0.10;
+        ph.depGeoP = 0.30; ph.depNone = 0.30;
+        ph.hotBytes = 128 * 1024;
+        ph.chaseBytes = 96ull * 1024 * 1024;
+        setRegions(ph, 1.0, 0.0, 0.0, 0.015);
+        p.phases = {ph};
+        t[p.name] = p;
+    }
+    {
+        // crafty: chess, integer, cache resident, high IPM.
+        Profile p;
+        p.name = "crafty";
+        p.code = {640, 5, 10, 0.14, 0.06};
+        Phase ph;
+        ph.wIntAlu = 1.0; ph.wIntMul = 0.015; ph.wLoad = 0.30;
+        ph.wStore = 0.10;
+        ph.depGeoP = 0.20; ph.depNone = 0.40;
+        ph.hotBytes = 24 * 1024;
+        setRegions(ph, 1.0, 0.0008, 0.0, 0.0);
+        p.phases = {ph};
+        t[p.name] = p;
+    }
+    {
+        // vortex: OO database, mid locality.
+        Profile p;
+        p.name = "vortex";
+        p.code = {1024, 5, 10, 0.16, 0.06};
+        Phase ph;
+        ph.wIntAlu = 1.0; ph.wLoad = 0.35; ph.wStore = 0.17;
+        ph.depGeoP = 0.24; ph.depNone = 0.36;
+        ph.hotBytes = 160 * 1024;
+        setRegions(ph, 1.0, 0.0013, 0.0006, 0.0);
+        p.phases = {ph};
+        t[p.name] = p;
+    }
+    {
+        // wupwise: FP, good locality.
+        Profile p;
+        p.name = "wupwise";
+        p.code = {256, 10, 16, 0.10, 0.03};
+        Phase ph;
+        ph.wIntAlu = 0.30; ph.wFpAdd = 0.50; ph.wFpMul = 0.50;
+        ph.wLoad = 0.30; ph.wStore = 0.12;
+        ph.depGeoP = 0.15; ph.depNone = 0.48;
+        ph.hotBytes = 32 * 1024;
+        setRegions(ph, 1.0, 0.0018, 0.0, 0.0);
+        p.phases = {ph};
+        t[p.name] = p;
+    }
+    {
+        // parser: integer, mid locality, branchy.
+        Profile p;
+        p.name = "parser";
+        p.code = {896, 4, 9, 0.16, 0.10};
+        Phase ph;
+        ph.wIntAlu = 1.0; ph.wLoad = 0.33; ph.wStore = 0.14;
+        ph.depGeoP = 0.30; ph.depNone = 0.30;
+        ph.hotBytes = 112 * 1024;
+        setRegions(ph, 1.0, 0.0024, 0.001, 0.0);
+        p.phases = {ph};
+        t[p.name] = p;
+    }
+    {
+        // perlbmk: branchy interpreter, cache resident.
+        Profile p;
+        p.name = "perlbmk";
+        p.code = {1280, 4, 9, 0.18, 0.09};
+        Phase ph;
+        ph.wIntAlu = 1.0; ph.wIntMul = 0.01; ph.wLoad = 0.32;
+        ph.wStore = 0.15;
+        ph.depGeoP = 0.24; ph.depNone = 0.36;
+        ph.hotBytes = 48 * 1024;
+        setRegions(ph, 1.0, 0.0010, 0.0, 0.0);
+        p.phases = {ph};
+        t[p.name] = p;
+    }
+
+    return t;
+}
+
+const std::map<std::string, Profile> &
+table()
+{
+    static const std::map<std::string, Profile> t = buildTable();
+    return t;
+}
+
+} // namespace
+
+Profile
+byName(const std::string &name)
+{
+    auto it = table().find(name);
+    if (it == table().end())
+        fatal("unknown benchmark profile '", name, "'");
+    return it->second;
+}
+
+std::vector<std::string>
+allNames()
+{
+    std::vector<std::string> names;
+    for (const auto &kv : table())
+        names.push_back(kv.first);
+    return names;
+}
+
+std::vector<std::pair<std::string, std::string>>
+evaluationPairs()
+{
+    return {
+        // 8 heterogeneous pairs (paper: "16 combinations ... out of
+        // which 8 combinations were of the same benchmark").
+        {"gcc", "eon"},
+        {"galgel", "gcc"},
+        {"apsi", "swim"},
+        {"lucas", "applu"},
+        {"mcf", "crafty"},
+        {"art", "perlbmk"},
+        {"swim", "vortex"},
+        {"bzip2", "wupwise"},
+        // 8 homogeneous pairs.
+        {"gcc", "gcc"},
+        {"eon", "eon"},
+        {"bzip2", "bzip2"},
+        {"swim", "swim"},
+        {"mgrid", "mgrid"},
+        {"applu", "applu"},
+        {"mcf", "mcf"},
+        {"crafty", "crafty"},
+    };
+}
+
+} // namespace spec
+} // namespace workload
+} // namespace soefair

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Statistical workload profiles standing in for SPEC CPU2000.
+ *
+ * The paper evaluates on SPEC CPU2000 LIT traces, which are
+ * proprietary. Each Profile here is a statistical stand-in: it fixes
+ * the instruction mix, the dependency-distance distribution (ILP),
+ * the control-flow shape (basic-block length, branch bias entropy)
+ * and a memory-footprint model from which the real cache hierarchy
+ * produces hit/miss behaviour. Profiles are calibrated so that the
+ * per-benchmark single-thread IPC and instructions-per-L2-miss span
+ * the same ranges the paper reports, which is what the fairness
+ * results depend on.
+ */
+
+#ifndef SOEFAIR_WORKLOAD_PROFILE_HH
+#define SOEFAIR_WORKLOAD_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace soefair
+{
+namespace workload
+{
+
+/** Kinds of data memory regions a profile draws addresses from. */
+enum class RegionKind : std::uint8_t
+{
+    Hot,     ///< uniform random within a small resident working set
+    Stream,  ///< sequential walk through a large array
+    Strided, ///< constant-stride walk (one line per access if >= 64B)
+    Chase,   ///< dependent pointer chase through a large region
+    NumRegionKinds
+};
+
+constexpr unsigned numRegionKinds =
+    static_cast<unsigned>(RegionKind::NumRegionKinds);
+
+const char *regionKindName(RegionKind k);
+
+/**
+ * One stationary behaviour phase.
+ *
+ * All rates are weights; they are normalized by the samplers, so
+ * only ratios matter.
+ */
+struct Phase
+{
+    // --- instruction mix (non-branch slots) ---
+    double wIntAlu = 1.0;
+    double wIntMul = 0.0;
+    double wIntDiv = 0.0;
+    double wFpAdd = 0.0;
+    double wFpMul = 0.0;
+    double wFpDiv = 0.0;
+    double wLoad = 0.3;
+    double wStore = 0.15;
+    /**
+     * Pause (busy-wait yield hint) ops; zero for the SPEC stand-ins,
+     * used by custom spin/server-style profiles (Section 6 fn. 7).
+     */
+    double wPause = 0.0;
+
+    // --- instruction-level parallelism ---
+    /**
+     * Geometric parameter for producer distance: probability that a
+     * source operand depends on the immediately preceding
+     * instruction. Larger values serialize the stream (lower ILP).
+     */
+    double depGeoP = 0.25;
+    /** Probability that a source operand has no producer at all. */
+    double depNone = 0.35;
+
+    // --- data memory behaviour ---
+    /** Region-kind weights indexed by RegionKind. */
+    double wRegion[numRegionKinds] = {1.0, 0.0, 0.0, 0.0};
+    /** Resident working set touched by Hot accesses (bytes). */
+    std::uint64_t hotBytes = 16 * 1024;
+    /** Footprint of the streaming region (bytes). */
+    std::uint64_t streamBytes = 64 * 1024 * 1024;
+    /** Stream element size: one miss per line / (line/elem) accesses. */
+    std::uint32_t streamElemBytes = 8;
+    /** Footprint and stride of the strided region. */
+    std::uint64_t stridedBytes = 16 * 1024 * 1024;
+    std::uint32_t strideBytes = 256;
+    /** Footprint of the pointer-chase region. */
+    std::uint64_t chaseBytes = 32 * 1024 * 1024;
+
+    /** Number of instructions this phase lasts (0 = forever). */
+    std::uint64_t duration = 0;
+};
+
+/**
+ * Control-flow shape fixed at program-construction time (phases do
+ * not change it: real programs do not rewrite their code).
+ */
+struct CodeShape
+{
+    /** Number of static basic blocks (code footprint). */
+    std::uint32_t numBlocks = 512;
+    /** Basic block length range (instructions incl. terminator). */
+    std::uint32_t blockLenMin = 6;
+    std::uint32_t blockLenMax = 12;
+    /** Fraction of blocks terminated by an unconditional branch. */
+    double uncondFrac = 0.15;
+    /**
+     * Fraction of conditional branches that are hard to predict
+     * (taken probability drawn uniform in [0.35, 0.65]); the rest
+     * are strongly biased (2% or 98% taken).
+     */
+    double flakyBranchFrac = 0.08;
+};
+
+/** A complete benchmark description: code shape + phase sequence. */
+struct Profile
+{
+    std::string name = "generic";
+    CodeShape code;
+    /** Executed cyclically; at least one phase required. */
+    std::vector<Phase> phases{Phase{}};
+
+    const Phase &phase(std::size_t i) const { return phases.at(i); }
+    std::size_t numPhases() const { return phases.size(); }
+};
+
+/**
+ * Registry of the SPEC CPU2000 stand-in profiles used by the paper's
+ * evaluation (Section 4.2 / Figures 6-8).
+ */
+namespace spec
+{
+
+/** Look a profile up by benchmark name; fatal() if unknown. */
+Profile byName(const std::string &name);
+
+/** All registered benchmark names. */
+std::vector<std::string> allNames();
+
+/**
+ * The 16 two-thread combinations of the evaluation: 8 heterogeneous
+ * pairs and 8 homogeneous (same benchmark on both threads) pairs.
+ */
+std::vector<std::pair<std::string, std::string>> evaluationPairs();
+
+} // namespace spec
+
+} // namespace workload
+} // namespace soefair
+
+#endif // SOEFAIR_WORKLOAD_PROFILE_HH

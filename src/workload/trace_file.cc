@@ -1,0 +1,186 @@
+#include "workload/trace_file.hh"
+
+#include "sim/logging.hh"
+
+namespace soefair
+{
+namespace workload
+{
+
+namespace
+{
+
+constexpr std::uint64_t traceMagic = 0x534F455452433031ull;
+constexpr std::uint32_t traceVersion = 1;
+constexpr std::streamoff headerBytes = 8 + 4 + 4 + 8;
+
+void
+putU64(std::ostream &os, std::uint64_t v)
+{
+    char buf[8];
+    for (int i = 0; i < 8; ++i)
+        buf[i] = char(v >> (8 * i));
+    os.write(buf, 8);
+}
+
+void
+putU32(std::ostream &os, std::uint32_t v)
+{
+    char buf[4];
+    for (int i = 0; i < 4; ++i)
+        buf[i] = char(v >> (8 * i));
+    os.write(buf, 4);
+}
+
+void
+putU16(std::ostream &os, std::uint16_t v)
+{
+    char buf[2] = {char(v), char(v >> 8)};
+    os.write(buf, 2);
+}
+
+std::uint64_t
+getU64(std::istream &is)
+{
+    unsigned char buf[8];
+    is.read(reinterpret_cast<char *>(buf), 8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= std::uint64_t(buf[i]) << (8 * i);
+    return v;
+}
+
+std::uint32_t
+getU32(std::istream &is)
+{
+    unsigned char buf[4];
+    is.read(reinterpret_cast<char *>(buf), 4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= std::uint32_t(buf[i]) << (8 * i);
+    return v;
+}
+
+std::uint16_t
+getU16(std::istream &is)
+{
+    unsigned char buf[2];
+    is.read(reinterpret_cast<char *>(buf), 2);
+    return std::uint16_t(buf[0] | (buf[1] << 8));
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path, ThreadID tid)
+    : filePath(path), os(path, std::ios::binary | std::ios::trunc)
+{
+    if (!os)
+        fatal("cannot open trace file '", path, "' for writing");
+    putU64(os, traceMagic);
+    putU32(os, traceVersion);
+    putU32(os, std::uint32_t(std::int32_t(tid)));
+    putU64(os, 0); // count, patched in close()
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (!closed) {
+        try {
+            close();
+        } catch (...) {
+            // Destructors must not throw; the file may be short.
+        }
+    }
+}
+
+void
+TraceWriter::append(const isa::MicroOp &op)
+{
+    soefair_assert(!closed, "append to closed trace");
+    putU64(os, op.pc);
+    putU64(os, op.memAddr);
+    putU64(os, op.target);
+    char small[3] = {char(op.op), char(op.memSize),
+                     char(op.taken ? 1 : 0)};
+    os.write(small, 3);
+    putU16(os, std::uint16_t(op.src0));
+    putU16(os, std::uint16_t(op.src1));
+    putU16(os, std::uint16_t(op.dest));
+    ++count;
+}
+
+void
+TraceWriter::record(InstSource &source, std::uint64_t n)
+{
+    for (std::uint64_t i = 0; i < n; ++i)
+        append(source.next());
+}
+
+void
+TraceWriter::close()
+{
+    if (closed)
+        return;
+    closed = true;
+    os.seekp(8 + 4 + 4, std::ios::beg);
+    putU64(os, count);
+    os.flush();
+    if (!os)
+        fatal("error finalizing trace file '", filePath, "'");
+}
+
+TraceReplaySource::TraceReplaySource(const std::string &path)
+    : filePath(path), is(path, std::ios::binary)
+{
+    if (!is)
+        fatal("cannot open trace file '", path, "'");
+    if (getU64(is) != traceMagic)
+        fatal("'", path, "' is not a soefair trace (bad magic)");
+    const std::uint32_t version = getU32(is);
+    if (version != traceVersion)
+        fatal("trace '", path, "' has unsupported version ", version);
+    tid = ThreadID(std::int32_t(getU32(is)));
+    fileOps = getU64(is);
+    if (!is || fileOps == 0)
+        fatal("trace '", path, "' is empty or truncated");
+}
+
+void
+TraceReplaySource::seekToFirstRecord()
+{
+    is.clear();
+    is.seekg(headerBytes, std::ios::beg);
+    readInPass = 0;
+}
+
+isa::MicroOp
+TraceReplaySource::next()
+{
+    if (readInPass == fileOps) {
+        ++wraps;
+        seekToFirstRecord();
+    }
+
+    isa::MicroOp op;
+    op.seqNum = nextSeq++;
+    op.pc = getU64(is);
+    op.memAddr = getU64(is);
+    op.target = getU64(is);
+    char small[3];
+    is.read(small, 3);
+    op.op = static_cast<isa::OpClass>(small[0]);
+    op.memSize = std::uint8_t(small[1]);
+    op.taken = small[2] != 0;
+    op.src0 = isa::RegId(std::int16_t(getU16(is)));
+    op.src1 = isa::RegId(std::int16_t(getU16(is)));
+    op.dest = isa::RegId(std::int16_t(getU16(is)));
+    if (!is)
+        fatal("trace '", filePath, "' truncated mid-record");
+    soefair_assert(std::uint8_t(op.op) < isa::numOpClasses,
+                   "corrupt op class in trace");
+    ++readInPass;
+    return op;
+}
+
+} // namespace workload
+} // namespace soefair

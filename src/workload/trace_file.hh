@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Binary micro-op trace files: record a workload's dynamic stream
+ * once, replay it any number of times (trace-driven simulation, the
+ * usual complement to the LIT checkpoints).
+ *
+ * Format: a fixed header (magic, version, thread id, op count)
+ * followed by fixed-size little-endian records. Records carry
+ * everything MicroOp needs for timing; sequence numbers are
+ * regenerated on replay (always 1..N), which keeps files
+ * position-independent.
+ */
+
+#ifndef SOEFAIR_WORKLOAD_TRACE_FILE_HH
+#define SOEFAIR_WORKLOAD_TRACE_FILE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "isa/micro_op.hh"
+#include "sim/types.hh"
+#include "workload/source.hh"
+
+namespace soefair
+{
+namespace workload
+{
+
+/** Streams micro-ops into a trace file. */
+class TraceWriter
+{
+  public:
+    /** Open (truncate) the file; fatal() on failure. */
+    TraceWriter(const std::string &path, ThreadID tid);
+
+    /** Finalizes the header (op count) on destruction. */
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one op. */
+    void append(const isa::MicroOp &op);
+
+    /** Record `count` ops pulled from a source (convenience). */
+    void record(InstSource &source, std::uint64_t count);
+
+    std::uint64_t written() const { return count; }
+
+    /** Flush and finalize the header explicitly. */
+    void close();
+
+  private:
+    std::string filePath;
+    std::ofstream os;
+    std::uint64_t count = 0;
+    bool closed = false;
+};
+
+/**
+ * Replays a trace file as an InstSource. When the trace is
+ * exhausted the replay loops back to the start (workloads are
+ * conceptually endless; looping keeps long timing runs possible
+ * from short traces) — `wrapped()` tells how often.
+ */
+class TraceReplaySource : public InstSource
+{
+  public:
+    explicit TraceReplaySource(const std::string &path);
+
+    isa::MicroOp next() override;
+
+    ThreadID threadId() const { return tid; }
+    std::uint64_t opsInFile() const { return fileOps; }
+    std::uint64_t wrapped() const { return wraps; }
+
+  private:
+    void seekToFirstRecord();
+
+    std::string filePath;
+    std::ifstream is;
+    ThreadID tid = 0;
+    std::uint64_t fileOps = 0;
+    std::uint64_t readInPass = 0;
+    std::uint64_t wraps = 0;
+    InstSeqNum nextSeq = 1;
+};
+
+} // namespace workload
+} // namespace soefair
+
+#endif // SOEFAIR_WORKLOAD_TRACE_FILE_HH

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Unit tests for the analytical model (paper Section 2), including
+ * an exact check of the worked example in Table 2.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/analytic.hh"
+#include "sim/logging.hh"
+
+using namespace soefair;
+using namespace soefair::core;
+
+namespace
+{
+
+/** The paper's Example 2 / Table 2 setup. */
+AnalyticSoe
+example2()
+{
+    // IPC_no_miss = 2.5 on both threads; miss latency 300; switch
+    // latency 25; thread 1 misses every 15,000 instructions (6,000
+    // cycles), thread 2 every 1,000 instructions (400 cycles).
+    std::vector<ThreadModel> threads = {
+        ThreadModel::fromIpcNoMiss(2.5, 15000.0),
+        ThreadModel::fromIpcNoMiss(2.5, 1000.0),
+    };
+    return AnalyticSoe(threads, MachineModel{300.0, 25.0});
+}
+
+} // namespace
+
+TEST(Analytic, Equation1SingleThreadIpc)
+{
+    auto m = example2();
+    // Thread 1: 15000 / (6000 + 300) = 2.381
+    EXPECT_NEAR(m.ipcSingleThread(0), 15000.0 / 6300.0, 1e-9);
+    // Thread 2: 1000 / (400 + 300) = 1.429
+    EXPECT_NEAR(m.ipcSingleThread(1), 1000.0 / 700.0, 1e-9);
+}
+
+TEST(Analytic, Equation2MissOnlySoeIpc)
+{
+    auto m = example2();
+    // Round: (6000 + 25) + (400 + 25) = 6450 cycles.
+    EXPECT_NEAR(m.ipcSoeMissOnly(0), 15000.0 / 6450.0, 1e-9);
+    EXPECT_NEAR(m.ipcSoeMissOnly(1), 1000.0 / 6450.0, 1e-9);
+}
+
+TEST(Analytic, Table2UnfairnessWithoutEnforcement)
+{
+    auto m = example2();
+    // Paper: thread 1's IPC drops by a factor of ~1.02, thread 2's
+    // by ~9.2, fairness ~0.11.
+    const double drop0 = m.ipcSingleThread(0) / m.ipcSoeMissOnly(0);
+    const double drop1 = m.ipcSingleThread(1) / m.ipcSoeMissOnly(1);
+    EXPECT_NEAR(drop0, 1.02, 0.02);
+    EXPECT_NEAR(drop1, 9.2, 0.05);
+    EXPECT_NEAR(m.fairness(m.missOnlyQuotas()), 0.11, 0.005);
+}
+
+TEST(Analytic, Table2PerfectFairnessQuota)
+{
+    auto m = example2();
+    // Paper: at F = 1 the first thread is forced to switch every
+    // ~1,667 instructions on average.
+    auto q = m.quotasForFairness(1.0);
+    EXPECT_NEAR(q[0], 1667.0, 10.0);
+    // Thread 2's quota stays its IPM (it misses first).
+    EXPECT_NEAR(q[1], 1000.0, 1e-9);
+    // And the resulting fairness is 1 with both speedups ~0.63
+    // (paper: both threads adjusted to 1/1.59).
+    EXPECT_NEAR(m.fairness(q), 1.0, 1e-9);
+    const double sp0 = m.ipcSoe(0, q) / m.ipcSingleThread(0);
+    EXPECT_NEAR(sp0, 1.0 / 1.59, 0.01);
+}
+
+TEST(Analytic, Equation9GuaranteesTargetFairness)
+{
+    auto m = example2();
+    for (double f : {0.1, 0.25, 0.5, 0.75, 1.0}) {
+        auto q = m.quotasForFairness(f);
+        EXPECT_GE(m.fairness(q) + 1e-9, f) << "F=" << f;
+    }
+}
+
+TEST(Analytic, FairnessIsMonotonicInF)
+{
+    auto m = example2();
+    double prev = m.fairness(m.quotasForFairness(0.05));
+    for (double f = 0.1; f <= 1.0; f += 0.05) {
+        double cur = m.fairness(m.quotasForFairness(f));
+        EXPECT_GE(cur + 1e-9, prev);
+        prev = cur;
+    }
+}
+
+TEST(Analytic, ThroughputIsSumOfPerThreadIpc)
+{
+    auto m = example2();
+    auto q = m.quotasForFairness(0.5);
+    EXPECT_NEAR(m.throughput(q), m.ipcSoe(0, q) + m.ipcSoe(1, q),
+                1e-12);
+}
+
+TEST(Analytic, QuotasAreClampedToIpm)
+{
+    auto m = example2();
+    // Tiny F would ask for a huge quota; it must clamp to IPM.
+    auto q = m.quotasForFairness(0.01);
+    EXPECT_LE(q[0], 15000.0);
+    EXPECT_LE(q[1], 1000.0);
+}
+
+TEST(Analytic, FZeroMeansMissOnly)
+{
+    auto m = example2();
+    EXPECT_EQ(m.quotasForFairness(0.0), m.missOnlyQuotas());
+}
+
+TEST(Analytic, EnforcementCanImproveThroughput)
+{
+    // Paper Fig. 3: when IPC_no_miss differs ([2,3]), biasing the
+    // execution towards the faster thread can RAISE throughput.
+    // The slow-IPC thread has the long turns (high IPM), so
+    // enforcement trims it and the fast thread gets more cycles.
+    std::vector<ThreadModel> threads = {
+        ThreadModel::fromIpcNoMiss(2.0, 15000.0),
+        ThreadModel::fromIpcNoMiss(3.0, 1000.0),
+    };
+    AnalyticSoe m(threads, MachineModel{300.0, 25.0});
+    const double base = m.throughput(m.missOnlyQuotas());
+    const double fair = m.throughput(m.quotasForFairness(1.0));
+    EXPECT_GT(fair, base);
+}
+
+TEST(Analytic, EnforcementUsuallyCostsThroughput)
+{
+    // Equal IPC_no_miss: forced switches only add overhead.
+    auto m = example2();
+    const double base = m.throughput(m.missOnlyQuotas());
+    const double fair = m.throughput(m.quotasForFairness(1.0));
+    EXPECT_LT(fair, base);
+    // Paper Fig. 3: same-IPC pairs degrade by at most a few percent.
+    EXPECT_GT(fair / base, 0.9);
+}
+
+TEST(Analytic, SpeedupOverSingleThread)
+{
+    auto m = example2();
+    const double sp = m.speedupOverSingleThread(m.missOnlyQuotas());
+    // SOE gains throughput over the single-thread mean here.
+    EXPECT_GT(sp, 1.0);
+}
+
+TEST(Analytic, ThreeThreadModel)
+{
+    std::vector<ThreadModel> threads = {
+        ThreadModel::fromIpcNoMiss(2.0, 2000.0),
+        ThreadModel::fromIpcNoMiss(2.5, 800.0),
+        ThreadModel::fromIpcNoMiss(1.5, 5000.0),
+    };
+    AnalyticSoe m(threads, MachineModel{300.0, 25.0});
+    for (double f : {0.25, 0.5, 1.0}) {
+        auto q = m.quotasForFairness(f);
+        EXPECT_GE(m.fairness(q) + 1e-9, f) << "F=" << f;
+    }
+}
+
+TEST(Analytic, RejectsBadParameters)
+{
+    std::vector<ThreadModel> bad = {{0.0, 100.0}};
+    EXPECT_THROW(AnalyticSoe(bad, MachineModel{}), PanicError);
+    auto m = example2();
+    EXPECT_THROW(m.quotasForFairness(1.5), PanicError);
+    EXPECT_THROW(m.quotasForFairness(-0.1), PanicError);
+}

@@ -1,0 +1,159 @@
+/** @file Unit tests for the gshare + BTB branch predictor. */
+
+#include <gtest/gtest.h>
+
+#include "cpu/branch_predictor.hh"
+#include "sim/logging.hh"
+#include "stats/stats.hh"
+
+using namespace soefair;
+using namespace soefair::cpu;
+using namespace soefair::isa;
+
+namespace
+{
+
+struct Fixture
+{
+    Fixture() : root("t"), bp({1024, 8, 64, 4}, &root) {}
+
+    statistics::Group root;
+    BranchPredictor bp;
+
+    MicroOp
+    branch(Addr pc, bool taken, Addr target,
+           OpClass cls = OpClass::BranchCond)
+    {
+        MicroOp op;
+        op.pc = pc;
+        op.op = cls;
+        op.taken = taken;
+        op.target = target;
+        return op;
+    }
+};
+
+} // namespace
+
+TEST(BranchPredictor, LearnsAlwaysTakenBranch)
+{
+    Fixture f;
+    auto op = f.branch(0x100, true, 0x200);
+    // Train until the global history is saturated with this branch's
+    // outcome so the gshare index stabilizes.
+    for (int i = 0; i < 20; ++i)
+        f.bp.update(op, f.bp.predict(op));
+    auto p = f.bp.predict(op);
+    EXPECT_TRUE(p.taken);
+    EXPECT_TRUE(p.targetKnown);
+    EXPECT_EQ(p.target, 0x200u);
+    EXPECT_TRUE(f.bp.update(op, p));
+}
+
+TEST(BranchPredictor, LearnsNeverTakenBranch)
+{
+    Fixture f;
+    auto op = f.branch(0x300, false, 0x400);
+    for (int i = 0; i < 20; ++i)
+        f.bp.update(op, f.bp.predict(op));
+    auto p = f.bp.predict(op);
+    EXPECT_FALSE(p.taken);
+    EXPECT_TRUE(f.bp.update(op, p));
+}
+
+TEST(BranchPredictor, UnconditionalPredictedTaken)
+{
+    Fixture f;
+    auto op = f.branch(0x500, true, 0x600, OpClass::BranchUncond);
+    auto p0 = f.bp.predict(op);
+    EXPECT_TRUE(p0.taken);
+    // Cold BTB: the target is unknown -> front end cannot follow.
+    EXPECT_FALSE(p0.targetKnown);
+    EXPECT_FALSE(f.bp.update(op, p0));
+    // Once the BTB has it, the branch is followable.
+    auto p1 = f.bp.predict(op);
+    EXPECT_TRUE(p1.targetKnown);
+    EXPECT_TRUE(f.bp.update(op, p1));
+}
+
+TEST(BranchPredictor, BtbMissOnTakenIsMispredict)
+{
+    Fixture f;
+    auto op = f.branch(0x700, true, 0x800);
+    // Force direction counters towards taken first via another pc
+    // aliasing is unlikely; cold prediction is weakly not-taken, so
+    // the first execution mispredicts regardless.
+    auto p = f.bp.predict(op);
+    EXPECT_FALSE(f.bp.update(op, p));
+    EXPECT_GE(f.bp.mispredicts.value(), 1u);
+}
+
+TEST(BranchPredictor, TargetChangeDetected)
+{
+    Fixture f;
+    auto op = f.branch(0x900, true, 0xA00);
+    for (int i = 0; i < 20; ++i)
+        f.bp.update(op, f.bp.predict(op));
+    // Same branch, new target (indirect-like): prediction has the
+    // stale target and must count as a mispredict.
+    auto op2 = f.branch(0x900, true, 0xB00);
+    auto p = f.bp.predict(op2);
+    EXPECT_TRUE(p.taken);
+    EXPECT_EQ(p.target, 0xA00u);
+    EXPECT_FALSE(f.bp.update(op2, p));
+}
+
+TEST(BranchPredictor, NotTakenNeedsNoBtb)
+{
+    Fixture f;
+    auto op = f.branch(0xC00, false, 0xD00);
+    auto p = f.bp.predict(op);
+    if (!p.taken) {
+        EXPECT_TRUE(f.bp.update(op, p));
+    }
+}
+
+TEST(BranchPredictor, HistoryDisambiguatesPatterns)
+{
+    // A branch alternating T/NT is unpredictable for a pure 2-bit
+    // counter but learnable with history.
+    Fixture f;
+    auto t = f.branch(0x1110, true, 0x2000);
+    auto n = f.branch(0x1110, false, 0x2000);
+    // Train the alternating pattern.
+    for (int i = 0; i < 200; ++i) {
+        auto &op = (i % 2 == 0) ? t : n;
+        f.bp.update(op, f.bp.predict(op));
+    }
+    // Measure accuracy over the next 100 executions.
+    int correct = 0;
+    for (int i = 200; i < 300; ++i) {
+        auto &op = (i % 2 == 0) ? t : n;
+        correct += f.bp.update(op, f.bp.predict(op));
+    }
+    EXPECT_GT(correct, 90);
+}
+
+TEST(BranchPredictor, BtbCapacityEviction)
+{
+    Fixture f;
+    // 64-entry, 4-way BTB = 16 sets. Insert 5 branches mapping to
+    // the same set (pc stride = 16*4 bytes) -> one is evicted.
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 5; ++i)
+        ops.push_back(f.branch(0x1000 + Addr(i) * 64, true,
+                               0x9000 + Addr(i) * 0x10));
+    for (auto &op : ops)
+        f.bp.update(op, f.bp.predict(op));
+    int known = 0;
+    for (auto &op : ops)
+        known += f.bp.predict(op).targetKnown;
+    EXPECT_EQ(known, 4);
+}
+
+TEST(BranchPredictor, RejectsNonPow2Config)
+{
+    statistics::Group root("t");
+    EXPECT_THROW(BranchPredictor({1000, 8, 64, 4}, &root), PanicError);
+    EXPECT_THROW(BranchPredictor({1024, 8, 60, 4}, &root), PanicError);
+}

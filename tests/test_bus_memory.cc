@@ -1,0 +1,81 @@
+/** @file Unit tests for the pipelined bus and main memory. */
+
+#include <gtest/gtest.h>
+
+#include "mem/bus.hh"
+#include "mem/memory.hh"
+#include "stats/stats.hh"
+
+using namespace soefair;
+using namespace soefair::mem;
+
+TEST(Bus, BackToBackTransfersSerialize)
+{
+    statistics::Group root("t");
+    Bus bus(4, &root);
+    EXPECT_EQ(bus.acquire(0), 4u);
+    EXPECT_EQ(bus.acquire(0), 8u);   // queued behind the first
+    EXPECT_EQ(bus.acquire(0), 12u);
+    EXPECT_EQ(bus.transfers.value(), 3u);
+    EXPECT_EQ(bus.queuedCycles.value(), 4u + 8u);
+}
+
+TEST(Bus, IdleBusGrantsImmediately)
+{
+    statistics::Group root("t");
+    Bus bus(4, &root);
+    bus.acquire(0);
+    EXPECT_EQ(bus.acquire(100), 104u);
+    EXPECT_EQ(bus.queuedCycles.value(), 0u);
+}
+
+TEST(Bus, NextFreeTracksOccupancy)
+{
+    statistics::Group root("t");
+    Bus bus(7, &root);
+    bus.acquire(10);
+    EXPECT_EQ(bus.nextFree(), 17u);
+}
+
+TEST(Memory, ReadLatencyIsBusPlusArray)
+{
+    statistics::Group root("t");
+    Bus bus(4, &root);
+    Memory mem(281, bus, &root);
+    auto r = mem.access(MemReq{0x1000, false, false, 10, 0});
+    EXPECT_EQ(r.completion, 10 + 4 + 281u);
+    EXPECT_TRUE(r.memoryMiss);
+    EXPECT_EQ(mem.reads.value(), 1u);
+}
+
+TEST(Memory, WritesArePosted)
+{
+    statistics::Group root("t");
+    Bus bus(4, &root);
+    Memory mem(281, bus, &root);
+    auto w = mem.access(MemReq{0x2000, true, true, 10, 0});
+    EXPECT_FALSE(w.memoryMiss);
+    EXPECT_EQ(w.completion, 14u); // bus only, no array latency
+    EXPECT_EQ(mem.writes.value(), 1u);
+}
+
+TEST(Memory, ContentionDelaysReads)
+{
+    statistics::Group root("t");
+    Bus bus(4, &root);
+    Memory mem(100, bus, &root);
+    auto a = mem.access(MemReq{0x0, false, false, 0, 0});
+    auto b = mem.access(MemReq{0x40, false, false, 0, 1});
+    EXPECT_EQ(a.completion, 104u);
+    EXPECT_EQ(b.completion, 108u); // waited one bus slot
+}
+
+TEST(Memory, WritesDelayLaterReads)
+{
+    statistics::Group root("t");
+    Bus bus(4, &root);
+    Memory mem(100, bus, &root);
+    mem.access(MemReq{0x0, true, true, 0, 0});
+    auto r = mem.access(MemReq{0x40, false, false, 0, 0});
+    EXPECT_EQ(r.completion, 108u);
+}

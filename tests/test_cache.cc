@@ -1,0 +1,223 @@
+/** @file Unit tests for the set-associative cache with MSHRs. */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "stats/stats.hh"
+
+using namespace soefair;
+using namespace soefair::mem;
+
+namespace
+{
+
+/** Terminal level with fixed latency; counts reads and writes. */
+class FixedLevel : public MemLevel
+{
+  public:
+    explicit FixedLevel(Tick latency, bool memory_like = true)
+        : lat(latency), memLike(memory_like) {}
+
+    AccessResult
+    access(const MemReq &req) override
+    {
+        if (req.isWrite || req.writeback) {
+            ++writes;
+            return {req.when, false, false, false, false};
+        }
+        ++reads;
+        AccessResult r;
+        r.completion = req.when + lat;
+        r.memoryMiss = memLike;
+        return r;
+    }
+
+    unsigned reads = 0;
+    unsigned writes = 0;
+
+  private:
+    Tick lat;
+    bool memLike;
+};
+
+struct Fixture
+{
+    Fixture(unsigned mshrs = 4)
+        : root("t"), next(100),
+          cache(CacheConfig{"c", 4096, 4, 2, mshrs}, next, events,
+                &root)
+    {}
+
+    statistics::Group root;
+    FixedLevel next;
+    EventQueue events;
+    Cache cache;
+
+    AccessResult
+    read(Addr a, Tick t)
+    {
+        return cache.access(MemReq{a, false, false, t, 0});
+    }
+
+    AccessResult
+    write(Addr a, Tick t)
+    {
+        return cache.access(MemReq{a, true, false, t, 0});
+    }
+};
+
+} // namespace
+
+TEST(Cache, MissThenHitAfterFill)
+{
+    Fixture f;
+    auto m = f.read(0x1000, 10);
+    EXPECT_FALSE(m.hit);
+    EXPECT_TRUE(m.memoryMiss);
+    EXPECT_EQ(m.completion, 10 + 2 + 100u);
+
+    // Before the fill arrives the line is not present...
+    f.events.runUntil(50);
+    EXPECT_TRUE(f.cache.mshrPendingFor(0x1000));
+
+    // ...after it, the access hits.
+    f.events.runUntil(m.completion);
+    EXPECT_FALSE(f.cache.mshrPendingFor(0x1000));
+    auto h = f.read(0x1008, m.completion + 1); // same line
+    EXPECT_TRUE(h.hit);
+    EXPECT_EQ(h.completion, m.completion + 1 + 2);
+}
+
+TEST(Cache, MshrMergeSharesCompletion)
+{
+    Fixture f;
+    auto m = f.read(0x2000, 0);
+    auto merged = f.read(0x2010, 5); // same line, still in flight
+    EXPECT_TRUE(merged.mergedMshr);
+    EXPECT_TRUE(merged.memoryMiss);
+    EXPECT_EQ(merged.completion, m.completion);
+    EXPECT_EQ(f.cache.mshrsInUse(), 1u);
+    EXPECT_EQ(f.next.reads, 1u); // single line fetch
+}
+
+TEST(Cache, MshrExhaustionForcesRetry)
+{
+    Fixture f(2);
+    EXPECT_FALSE(f.read(0x0000, 0).retry);
+    EXPECT_FALSE(f.read(0x4000, 0).retry);
+    auto r = f.read(0x8000, 0);
+    EXPECT_TRUE(r.retry);
+    EXPECT_EQ(f.cache.mshrFullRetries.value(), 1u);
+
+    // After a fill frees an MSHR the retry succeeds.
+    f.events.runUntil(200);
+    EXPECT_FALSE(f.read(0x8000, 200).retry);
+}
+
+TEST(Cache, WriteMissAllocatesAndMarksDirty)
+{
+    Fixture f;
+    auto m = f.write(0x3000, 0);
+    EXPECT_FALSE(m.hit);
+    f.events.runUntil(m.completion);
+
+    // Evict the line by filling the whole set; victim writeback goes
+    // to the next level as a write.
+    // set count = 4096 / (64*4) = 16 sets; stride = 16*64 = 1024.
+    const unsigned writesBefore = f.next.writes;
+    Tick t = m.completion + 1;
+    for (int i = 1; i <= 4; ++i) {
+        auto r = f.read(0x3000 + Addr(i) * 1024, t);
+        f.events.runUntil(r.completion);
+        t = r.completion + 1;
+    }
+    EXPECT_GT(f.next.writes, writesBefore);
+    EXPECT_GE(f.cache.writebacks.value(), 1u);
+}
+
+TEST(Cache, LruReplacementKeepsRecentlyUsed)
+{
+    Fixture f;
+    // Fill one 4-way set with lines A..D (stride = set span 1024).
+    std::vector<Addr> lines = {0x0000, 0x0400, 0x0800, 0x0C00};
+    Tick t = 0;
+    for (Addr a : lines) {
+        auto r = f.read(a, t);
+        f.events.runUntil(r.completion);
+        t = r.completion + 1;
+    }
+    // Touch A so B becomes LRU.
+    EXPECT_TRUE(f.read(0x0000, t).hit);
+    ++t;
+    // Miss a fifth line: B must be the victim.
+    auto r = f.read(0x1000, t);
+    f.events.runUntil(r.completion);
+    t = r.completion + 1;
+    EXPECT_TRUE(f.read(0x0000, t).hit) << "A should survive";
+    ++t;
+    EXPECT_FALSE(f.read(0x0400, t).hit) << "B should be evicted";
+    f.cache.checkInvariants();
+}
+
+TEST(Cache, WarmTouchInstallsWithoutTiming)
+{
+    Fixture f;
+    EXPECT_FALSE(f.cache.warmTouch(0x5000, false));
+    EXPECT_TRUE(f.cache.warmTouch(0x5000, false));
+    EXPECT_EQ(f.next.reads, 0u);
+    auto h = f.read(0x5000, 0);
+    EXPECT_TRUE(h.hit);
+}
+
+TEST(Cache, WritebackInstallsWithoutFetch)
+{
+    Fixture f;
+    const unsigned readsBefore = f.next.reads;
+    MemReq wb;
+    wb.addr = 0x6000;
+    wb.isWrite = true;
+    wb.writeback = true;
+    wb.when = 0;
+    f.cache.access(wb);
+    EXPECT_EQ(f.next.reads, readsBefore); // no fetch
+    EXPECT_TRUE(f.read(0x6000, 1).hit);
+}
+
+TEST(Cache, HitDoesNotTouchNextLevel)
+{
+    Fixture f;
+    auto m = f.read(0x7000, 0);
+    f.events.runUntil(m.completion);
+    const unsigned reads = f.next.reads;
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(f.read(0x7000, m.completion + Tick(i) + 1).hit);
+    EXPECT_EQ(f.next.reads, reads);
+}
+
+TEST(Cache, StatsAreConsistent)
+{
+    Fixture f;
+    Tick t = 0;
+    for (int i = 0; i < 50; ++i) {
+        auto r = f.read(Addr(i % 7) * 0x1000, t);
+        if (!r.retry)
+            f.events.runUntil(r.completion);
+        t += 150;
+    }
+    EXPECT_EQ(f.cache.accesses.value(),
+              f.cache.hits.value() + f.cache.misses.value() +
+              f.cache.mshrMerges.value() +
+              f.cache.mshrFullRetries.value());
+    f.cache.checkInvariants();
+}
+
+TEST(Cache, RejectsBadGeometry)
+{
+    statistics::Group root("t");
+    FixedLevel next(10);
+    EventQueue ev;
+    CacheConfig bad{"bad", 1000, 3, 1, 2}; // not divisible
+    EXPECT_THROW(Cache(bad, next, ev, &root), PanicError);
+}

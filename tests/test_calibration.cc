@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Calibration of the SPEC CPU2000 stand-in profiles.
+ *
+ * The reproduction does not need to match SPEC's absolute numbers,
+ * but the fairness evaluation requires the profile population to
+ * span the right ranges: single-thread IPC roughly 0.1..2.5 and
+ * instructions-per-L2-miss roughly a few hundred to tens of
+ * thousands, with specific benchmarks placed at the extremes
+ * (eon/crafty cache-resident, swim/applu/lucas streaming, mcf
+ * pointer-chasing). These tests pin per-benchmark bands; the
+ * parameterized sweep prints the measured table for inspection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "harness/machine_config.hh"
+#include "harness/runner.hh"
+#include "workload/profile.hh"
+
+using namespace soefair;
+using harness::MachineConfig;
+using harness::RunConfig;
+using harness::Runner;
+using harness::ThreadSpec;
+
+namespace
+{
+
+struct Band
+{
+    double ipcLo, ipcHi;
+    double ipmLo, ipmHi;
+};
+
+/** Expected single-thread bands per benchmark (loose by design). */
+const std::map<std::string, Band> &
+bands()
+{
+    static const std::map<std::string, Band> b = {
+        {"gcc",     {0.3, 1.6,  150.0, 4000.0}},
+        {"eon",     {1.2, 4.0, 8000.0, 1e9}},
+        {"bzip2",   {0.8, 2.4, 1200.0, 40000.0}},
+        {"galgel",  {1.2, 3.2, 5000.0, 1e9}},
+        {"swim",    {0.5, 2.0,  300.0, 4000.0}},
+        {"applu",   {0.5, 2.0,  350.0, 5000.0}},
+        {"lucas",   {0.5, 2.0,  350.0, 5000.0}},
+        {"apsi",    {0.6, 2.2, 1500.0, 60000.0}},
+        {"mgrid",   {0.6, 2.4,  500.0, 60000.0}},
+        {"art",     {0.2, 1.3,  100.0, 3000.0}},
+        {"mcf",     {0.1, 0.9,  100.0, 2500.0}},
+        {"crafty",  {1.2, 3.0, 8000.0, 1e9}},
+        {"vortex",  {0.6, 2.0, 1500.0, 80000.0}},
+        {"wupwise", {1.0, 3.0, 4000.0, 1e9}},
+        {"parser",  {0.6, 1.8, 1200.0, 40000.0}},
+        {"perlbmk", {1.2, 3.6, 5000.0, 1e9}},
+    };
+    return b;
+}
+
+RunConfig
+calRun()
+{
+    RunConfig rc;
+    // Long functional warm so the (large) branch predictor reaches
+    // steady state before measurement; see DESIGN.md.
+    rc.warmupInstrs = 150 * 1000;
+    rc.timingWarmInstrs = 30 * 1000;
+    rc.measureInstrs = 100 * 1000;
+    return rc;
+}
+
+} // namespace
+
+class CalibrationTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(CalibrationTest, BenchmarkInBand)
+{
+    const std::string name = GetParam();
+    ASSERT_TRUE(bands().count(name)) << "no band for " << name;
+    const Band band = bands().at(name);
+
+    Runner runner(MachineConfig::paperDefault());
+    auto res = runner.runSingleThread(ThreadSpec::benchmark(name, 42),
+                                      calRun());
+
+    std::cout << "  [cal] " << name << ": ipc=" << res.ipc
+              << " ipm=" << res.ipm << " cpm=" << res.cpm
+              << " misses=" << res.misses << "\n";
+
+    EXPECT_GE(res.ipc, band.ipcLo) << name;
+    EXPECT_LE(res.ipc, band.ipcHi) << name;
+    EXPECT_GE(res.ipm, band.ipmLo) << name;
+    EXPECT_LE(res.ipm, band.ipmHi) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, CalibrationTest,
+    ::testing::ValuesIn(workload::spec::allNames()),
+    [](const ::testing::TestParamInfo<std::string> &param_info) {
+        return param_info.param;
+    });
+
+TEST(Calibration, PopulationSpansTheFairnessSpectrum)
+{
+    // The evaluation needs both near-equal pairs and extreme pairs.
+    Runner runner(MachineConfig::paperDefault());
+    auto rc = calRun();
+    auto eon = runner.runSingleThread(ThreadSpec::benchmark("eon", 42),
+                                      rc);
+    auto mcf = runner.runSingleThread(ThreadSpec::benchmark("mcf", 42),
+                                      rc);
+    // Widest IPC ratio at least ~4x so unfair pairings exist.
+    EXPECT_GT(eon.ipc / mcf.ipc, 3.2);
+}

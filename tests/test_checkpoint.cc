@@ -1,0 +1,110 @@
+/** @file Unit tests for LIT-style workload checkpoints. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "workload/checkpoint.hh"
+#include "workload/profile.hh"
+
+using namespace soefair;
+using namespace soefair::workload;
+
+TEST(Serializer, RoundTripPrimitives)
+{
+    Serializer s;
+    s.putU64(0x1122334455667788ull);
+    s.putU32(0xDEADBEEF);
+    s.putString("hello soe");
+    Deserializer d(s.buffer());
+    EXPECT_EQ(d.getU64(), 0x1122334455667788ull);
+    EXPECT_EQ(d.getU32(), 0xDEADBEEFu);
+    EXPECT_EQ(d.getString(), "hello soe");
+    EXPECT_TRUE(d.exhausted());
+}
+
+TEST(Serializer, UnderrunPanics)
+{
+    Serializer s;
+    s.putU32(7);
+    Deserializer d(s.buffer());
+    EXPECT_THROW(d.getU64(), PanicError);
+}
+
+TEST(Checkpoint, CaptureRestoreContinuesStream)
+{
+    WorkloadGenerator gen(spec::byName("mgrid"), 1, 33);
+    for (int i = 0; i < 54321; ++i)
+        gen.next();
+
+    LitCheckpoint cp = LitCheckpoint::capture(gen);
+    EXPECT_EQ(cp.profileName(), "mgrid");
+    EXPECT_EQ(cp.threadId(), 1);
+    EXPECT_EQ(cp.instructionCount(), 54321u);
+
+    auto restored = cp.restore();
+    for (int i = 0; i < 10000; ++i) {
+        auto x = gen.next();
+        auto y = restored->next();
+        ASSERT_EQ(x.seqNum, y.seqNum);
+        ASSERT_EQ(x.pc, y.pc);
+        ASSERT_EQ(x.op, y.op);
+        ASSERT_EQ(x.memAddr, y.memAddr);
+    }
+}
+
+TEST(Checkpoint, BinaryRoundTrip)
+{
+    WorkloadGenerator gen(spec::byName("mcf"), 0, 44);
+    for (int i = 0; i < 777; ++i)
+        gen.next();
+    LitCheckpoint cp = LitCheckpoint::capture(gen);
+    auto bytes = cp.serialize();
+    LitCheckpoint back = LitCheckpoint::deserialize(bytes);
+    EXPECT_EQ(back.profileName(), cp.profileName());
+    EXPECT_EQ(back.seed(), cp.seed());
+    EXPECT_EQ(back.threadId(), cp.threadId());
+    EXPECT_EQ(back.instructionCount(), cp.instructionCount());
+
+    auto a = cp.restore();
+    auto b = back.restore();
+    for (int i = 0; i < 2000; ++i) {
+        auto x = a->next();
+        auto y = b->next();
+        ASSERT_EQ(x.pc, y.pc);
+        ASSERT_EQ(x.memAddr, y.memAddr);
+    }
+}
+
+TEST(Checkpoint, BadMagicIsFatal)
+{
+    std::vector<std::uint8_t> junk(64, 0xAB);
+    EXPECT_THROW(LitCheckpoint::deserialize(junk), FatalError);
+}
+
+TEST(Checkpoint, TruncatedIsRejected)
+{
+    WorkloadGenerator gen(spec::byName("gcc"), 0, 55);
+    auto bytes = LitCheckpoint::capture(gen).serialize();
+    bytes.resize(bytes.size() - 4);
+    EXPECT_THROW(LitCheckpoint::deserialize(bytes), PanicError);
+}
+
+TEST(Checkpoint, FileRoundTrip)
+{
+    WorkloadGenerator gen(spec::byName("swim"), 2, 66);
+    for (int i = 0; i < 999; ++i)
+        gen.next();
+    const std::string path = "/tmp/soefair_cp_test.bin";
+    LitCheckpoint::capture(gen).saveFile(path);
+    LitCheckpoint back = LitCheckpoint::loadFile(path);
+    EXPECT_EQ(back.profileName(), "swim");
+    EXPECT_EQ(back.instructionCount(), 999u);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileIsFatal)
+{
+    EXPECT_THROW(LitCheckpoint::loadFile("/nonexistent/cp.bin"),
+                 FatalError);
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * End-to-end single-thread runs of the core: forward progress,
+ * plausible IPC ranges, determinism, and blocking behaviour on
+ * L2 misses.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/machine_config.hh"
+#include "harness/runner.hh"
+#include "harness/system.hh"
+#include "soe/engine.hh"
+#include "soe/policies.hh"
+
+using namespace soefair;
+using harness::MachineConfig;
+using harness::RunConfig;
+using harness::Runner;
+using harness::System;
+using harness::ThreadSpec;
+
+namespace
+{
+
+RunConfig
+smallRun()
+{
+    RunConfig rc;
+    rc.warmupInstrs = 150 * 1000;
+    rc.timingWarmInstrs = 30 * 1000;
+    rc.measureInstrs = 60 * 1000;
+    return rc;
+}
+
+} // namespace
+
+TEST(CoreSingleThread, MakesForwardProgress)
+{
+    System sys(MachineConfig::paperDefault(),
+               {ThreadSpec::benchmark("eon", 7)});
+    soe::MissOnlyPolicy policy;
+    soe::SoeEngine engine(MachineConfig::paperDefault().soe, policy, 1,
+                          &sys.stats());
+    sys.start(&engine);
+    sys.step(20 * 1000);
+    EXPECT_GT(sys.core().retired(0), 1000u);
+}
+
+TEST(CoreSingleThread, CacheResidentBenchmarkHasHighIpc)
+{
+    Runner runner(MachineConfig::paperDefault());
+    auto res = runner.runSingleThread(ThreadSpec::benchmark("eon", 7),
+                                      smallRun());
+    // eon stands in for a cache-resident high-IPC workload.
+    EXPECT_GT(res.ipc, 1.0);
+    EXPECT_LT(res.ipc, 4.0);
+    EXPECT_GT(res.ipm, 3000.0);
+}
+
+TEST(CoreSingleThread, StreamingBenchmarkIsMissBound)
+{
+    Runner runner(MachineConfig::paperDefault());
+    auto res = runner.runSingleThread(ThreadSpec::benchmark("swim", 7),
+                                      smallRun());
+    // swim streams: misses every ~1k instructions drag IPC down.
+    EXPECT_LT(res.ipm, 4000.0);
+    EXPECT_GT(res.misses, 10u);
+    EXPECT_LT(res.ipc, 1.5);
+}
+
+TEST(CoreSingleThread, DeterministicAcrossRuns)
+{
+    Runner runner(MachineConfig::paperDefault());
+    auto a = runner.runSingleThread(ThreadSpec::benchmark("gcc", 3),
+                                    smallRun());
+    auto b = runner.runSingleThread(ThreadSpec::benchmark("gcc", 3),
+                                    smallRun());
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instrs, b.instrs);
+    EXPECT_EQ(a.misses, b.misses);
+}
+
+TEST(CoreSingleThread, InvariantsHoldDuringRun)
+{
+    System sys(MachineConfig::paperDefault(),
+               {ThreadSpec::benchmark("gcc", 11)});
+    soe::MissOnlyPolicy policy;
+    soe::SoeEngine engine(MachineConfig::paperDefault().soe, policy, 1,
+                          &sys.stats());
+    sys.start(&engine);
+    for (int i = 0; i < 200; ++i) {
+        sys.step(100);
+        ASSERT_NO_THROW(sys.core().checkInvariants(sys.now()));
+        ASSERT_NO_THROW(sys.hierarchy().checkInvariants());
+    }
+}

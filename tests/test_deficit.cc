@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit and property tests for the deficit counter (Section 3.2),
+ * including the convergence claim: the long-run average number of
+ * instructions between switches equals IPSw whenever IPSw is below
+ * the thread's natural miss distance.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/deficit.hh"
+#include "sim/random.hh"
+
+using soefair::core::DeficitCounter;
+using soefair::Rng;
+
+TEST(Deficit, UnlimitedNeverForces)
+{
+    DeficitCounter d;
+    d.setQuota(DeficitCounter::unlimited);
+    d.switchIn();
+    for (int i = 0; i < 100000; ++i)
+        EXPECT_FALSE(d.onRetire());
+}
+
+TEST(Deficit, ForcesAfterQuotaInstructions)
+{
+    DeficitCounter d;
+    d.setQuota(100.0);
+    d.switchIn();
+    for (int i = 0; i < 99; ++i)
+        EXPECT_FALSE(d.onRetire()) << i;
+    EXPECT_TRUE(d.onRetire());
+}
+
+TEST(Deficit, LeftoverCarriesAcrossMissSwitch)
+{
+    DeficitCounter d;
+    d.setQuota(100.0);
+    d.switchIn();
+    // A miss switches the thread out after only 40 instructions.
+    for (int i = 0; i < 40; ++i)
+        EXPECT_FALSE(d.onRetire());
+    // Next residency: 100 fresh + 60 leftover = 160 instructions.
+    d.switchIn();
+    for (int i = 0; i < 159; ++i)
+        EXPECT_FALSE(d.onRetire()) << i;
+    EXPECT_TRUE(d.onRetire());
+}
+
+TEST(Deficit, CreditIsBounded)
+{
+    DeficitCounter d;
+    d.setQuota(100.0);
+    // Many residencies cut short after 1 instruction must not bank
+    // unbounded credit (DRR-style cap at two quotas).
+    for (int i = 0; i < 50; ++i) {
+        d.switchIn();
+        d.onRetire();
+    }
+    EXPECT_LE(d.creditValue(), 200.0);
+}
+
+TEST(Deficit, FractionalQuotaAverages)
+{
+    // Quota 2.5: residencies alternate between 2 and 3 retires,
+    // averaging 2.5.
+    DeficitCounter d;
+    d.setQuota(2.5);
+    std::uint64_t retires = 0;
+    const int rounds = 10000;
+    for (int r = 0; r < rounds; ++r) {
+        d.switchIn();
+        while (!d.onRetire())
+            ++retires;
+        ++retires; // the forcing retire
+    }
+    EXPECT_NEAR(double(retires) / rounds, 2.5, 0.01);
+}
+
+TEST(Deficit, ConvergesToQuotaUnderRandomMisses)
+{
+    // Property (paper Sec. 3.2): with misses arriving at IPM >
+    // IPSw, the mean instructions per switch converges to IPSw.
+    Rng rng(123);
+    DeficitCounter d;
+    const double quota = 500.0;
+    d.setQuota(quota);
+    const double missProb = 1.0 / 2000.0; // IPM ~ 2000 > quota
+
+    std::uint64_t totalInstrs = 0;
+    std::uint64_t switches = 0;
+    d.switchIn();
+    for (std::uint64_t i = 0; i < 2000000; ++i) {
+        ++totalInstrs;
+        const bool quotaSwitch = d.onRetire();
+        const bool missSwitch = rng.chance(missProb);
+        if (quotaSwitch || missSwitch) {
+            ++switches;
+            d.switchIn();
+        }
+    }
+    const double avg = double(totalInstrs) / double(switches);
+    EXPECT_NEAR(avg, quota, quota * 0.05);
+}
+
+TEST(Deficit, QuotaAboveMissDistanceLeavesMissesInCharge)
+{
+    // When IPSw > IPM, misses dominate: average = IPM, and forced
+    // switches are rare.
+    Rng rng(321);
+    DeficitCounter d;
+    d.setQuota(10000.0);
+    const double missProb = 1.0 / 500.0;
+
+    std::uint64_t forced = 0, switches = 0, instrs = 0;
+    d.switchIn();
+    for (std::uint64_t i = 0; i < 1000000; ++i) {
+        ++instrs;
+        const bool quotaSwitch = d.onRetire();
+        const bool missSwitch = rng.chance(missProb);
+        if (quotaSwitch)
+            ++forced;
+        if (quotaSwitch || missSwitch) {
+            ++switches;
+            d.switchIn();
+        }
+    }
+    EXPECT_NEAR(double(instrs) / double(switches), 500.0, 25.0);
+    EXPECT_LT(double(forced) / double(switches), 0.02);
+}
+
+TEST(Deficit, SwitchingFromUnlimitedToFinite)
+{
+    DeficitCounter d;
+    d.setQuota(DeficitCounter::unlimited);
+    d.switchIn();
+    EXPECT_FALSE(d.onRetire());
+    d.setQuota(50.0);
+    d.switchIn();
+    for (int i = 0; i < 49; ++i)
+        EXPECT_FALSE(d.onRetire());
+    EXPECT_TRUE(d.onRetire());
+}
+
+TEST(Deficit, ResetRestoresUnlimited)
+{
+    DeficitCounter d;
+    d.setQuota(10.0);
+    d.switchIn();
+    d.reset();
+    EXPECT_FALSE(d.limited());
+    d.switchIn();
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_FALSE(d.onRetire());
+}

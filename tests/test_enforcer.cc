@@ -1,0 +1,117 @@
+/** @file Unit tests for the fairness-enforcement feedback loop. */
+
+#include <gtest/gtest.h>
+
+#include "core/analytic.hh"
+#include "core/deficit.hh"
+#include "core/enforcer.hh"
+#include "sim/logging.hh"
+
+using namespace soefair;
+using namespace soefair::core;
+
+namespace
+{
+
+/** Ideal counters for a thread with the given IPM/CPM over a
+ *  window that saw `misses` misses. */
+HwCounters
+counters(double ipm, double cpm, std::uint64_t misses)
+{
+    return {std::uint64_t(ipm * double(misses)),
+            std::uint64_t(cpm * double(misses)), misses};
+}
+
+} // namespace
+
+TEST(Enforcer, FZeroLeavesQuotasUnlimited)
+{
+    FairnessEnforcer e(0.0, 300.0, 2);
+    auto q = e.recompute({counters(1000, 400, 20),
+                          counters(15000, 6000, 3)});
+    EXPECT_EQ(q[0], DeficitCounter::unlimited);
+    EXPECT_EQ(q[1], DeficitCounter::unlimited);
+}
+
+TEST(Enforcer, MatchesAnalyticQuotaOnIdealCounters)
+{
+    // With perfect counters the runtime quota must equal Eq. 9's
+    // analytic value.
+    const double f = 0.5;
+    FairnessEnforcer e(f, 300.0, 2);
+    auto q = e.recompute({counters(1000, 400, 20),
+                          counters(15000, 6000, 3)});
+
+    AnalyticSoe model({ThreadModel{1000, 400},
+                       ThreadModel{15000, 6000}},
+                      MachineModel{300.0, 25.0});
+    auto expect = model.quotasForFairness(f);
+    EXPECT_NEAR(q[0], expect[0], 1e-6);
+    EXPECT_NEAR(q[1], expect[1], 1e-6);
+}
+
+TEST(Enforcer, StarvedThreadKeepsPreviousEstimate)
+{
+    FairnessEnforcer e(1.0, 300.0, 2);
+    e.recompute({counters(1000, 400, 20), counters(15000, 6000, 3)});
+    const double est0 = e.estimate(0).ipcSt;
+
+    // Next window: thread 0 never ran. Its estimate must persist
+    // and its quota must still be computed from it.
+    auto q = e.recompute({HwCounters{}, counters(15000, 6000, 3)});
+    EXPECT_DOUBLE_EQ(e.estimate(0).ipcSt, est0);
+    EXPECT_NE(q[0], DeficitCounter::unlimited);
+}
+
+TEST(Enforcer, NoDataMeansNoEnforcement)
+{
+    FairnessEnforcer e(1.0, 300.0, 2);
+    auto q = e.recompute({HwCounters{}, HwCounters{}});
+    EXPECT_EQ(q[0], DeficitCounter::unlimited);
+    EXPECT_EQ(q[1], DeficitCounter::unlimited);
+}
+
+TEST(Enforcer, QuotaHasUnitFloor)
+{
+    // A hopeless imbalance must not produce quotas below one
+    // instruction (which would deadlock the thread).
+    FairnessEnforcer e(1.0, 300.0, 2);
+    auto q = e.recompute({counters(2.0, 1000000.0, 5),
+                          counters(50000, 20000, 2)});
+    EXPECT_GE(q[0], 1.0);
+    EXPECT_GE(q[1], 1.0);
+}
+
+TEST(Enforcer, StricterFairnessMeansSmallerQuota)
+{
+    auto quotaAt = [](double f) {
+        FairnessEnforcer e(f, 300.0, 2);
+        auto q = e.recompute({counters(1000, 400, 20),
+                              counters(15000, 6000, 3)});
+        return q[1]; // the fast thread's quota
+    };
+    EXPECT_GT(quotaAt(0.25), quotaAt(0.5));
+    EXPECT_GT(quotaAt(0.5), quotaAt(1.0));
+}
+
+TEST(Enforcer, QuotasClampToIpm)
+{
+    FairnessEnforcer e(0.1, 300.0, 2);
+    auto q = e.recompute({counters(1000, 400, 20),
+                          counters(15000, 6000, 3)});
+    EXPECT_LE(q[0], 1000.0 + 1e-9);
+    EXPECT_LE(q[1], 15000.0 + 1e-9);
+}
+
+TEST(Enforcer, RejectsBadConstruction)
+{
+    EXPECT_THROW(FairnessEnforcer(1.5, 300.0, 2), PanicError);
+    EXPECT_THROW(FairnessEnforcer(0.5, -1.0, 2), PanicError);
+    EXPECT_THROW(FairnessEnforcer(0.5, 300.0, 0), PanicError);
+}
+
+TEST(Enforcer, RejectsWrongCounterCount)
+{
+    FairnessEnforcer e(0.5, 300.0, 2);
+    EXPECT_THROW(e.recompute({HwCounters{}}), PanicError);
+}

@@ -1,0 +1,77 @@
+/** @file Unit tests for the Eq. 11-13 window estimator. */
+
+#include <gtest/gtest.h>
+
+#include "core/estimator.hh"
+#include "sim/logging.hh"
+
+using namespace soefair::core;
+
+TEST(Estimator, BasicEquations)
+{
+    HwCounters c{10000, 5000, 10};
+    auto e = estimateWindow(c, 300.0);
+    EXPECT_FALSE(e.empty);
+    EXPECT_DOUBLE_EQ(e.ipm, 1000.0);
+    EXPECT_DOUBLE_EQ(e.cpm, 500.0);
+    EXPECT_DOUBLE_EQ(e.ipcSt, 1000.0 / 800.0);
+}
+
+TEST(Estimator, ZeroMissesUsesOne)
+{
+    // Paper Sec. 3.1: a window with no misses estimates with
+    // Misses = 1, slightly under-estimating IPC_ST.
+    HwCounters c{50000, 20000, 0};
+    auto e = estimateWindow(c, 300.0);
+    EXPECT_DOUBLE_EQ(e.ipm, 50000.0);
+    EXPECT_DOUBLE_EQ(e.cpm, 20000.0);
+    EXPECT_DOUBLE_EQ(e.ipcSt, 50000.0 / 20300.0);
+    // The estimate is below the no-miss IPC, by design.
+    EXPECT_LT(e.ipcSt, 50000.0 / 20000.0);
+}
+
+TEST(Estimator, EmptyWindowIsEmpty)
+{
+    HwCounters c{0, 0, 0};
+    auto e = estimateWindow(c, 300.0);
+    EXPECT_TRUE(e.empty);
+}
+
+TEST(Estimator, StarvedWindowWithCyclesOnlyIsEmpty)
+{
+    HwCounters c{0, 1234, 3};
+    EXPECT_TRUE(estimateWindow(c, 300.0).empty);
+}
+
+TEST(Estimator, ScalesWithMissLatency)
+{
+    HwCounters c{10000, 5000, 10};
+    auto a = estimateWindow(c, 100.0);
+    auto b = estimateWindow(c, 500.0);
+    EXPECT_GT(a.ipcSt, b.ipcSt);
+}
+
+TEST(Estimator, MatchesEquationOneOnStationaryInput)
+{
+    // Estimates fed back into Eq. 1 must reproduce IPC_ST exactly
+    // when the counters are ideal samples.
+    const double ipm = 2000.0, cpm = 900.0, missLat = 300.0;
+    HwCounters c{std::uint64_t(ipm * 50), std::uint64_t(cpm * 50), 50};
+    auto e = estimateWindow(c, missLat);
+    EXPECT_NEAR(e.ipcSt, ipm / (cpm + missLat), 1e-12);
+}
+
+TEST(Estimator, NegativeMissLatPanics)
+{
+    HwCounters c{100, 50, 1};
+    EXPECT_THROW(estimateWindow(c, -1.0), soefair::PanicError);
+}
+
+TEST(Estimator, CountersReset)
+{
+    HwCounters c{1, 2, 3};
+    c.reset();
+    EXPECT_EQ(c.instrs, 0u);
+    EXPECT_EQ(c.cycles, 0u);
+    EXPECT_EQ(c.misses, 0u);
+}

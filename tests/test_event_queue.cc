@@ -1,0 +1,106 @@
+/** @file Unit tests for the discrete event queue. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+using soefair::EventQueue;
+using soefair::maxTick;
+using soefair::Tick;
+
+TEST(EventQueue, EmptyQueueReportsMaxTick)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.nextEventTick(), maxTick);
+    q.runUntil(1000); // no-op
+}
+
+TEST(EventQueue, RunsEventsInTickOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.runUntil(100);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SameTickRunsInInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    q.runUntil(5);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[std::size_t(i)], i);
+}
+
+TEST(EventQueue, DoesNotRunFutureEvents)
+{
+    EventQueue q;
+    bool ran = false;
+    q.schedule(50, [&] { ran = true; });
+    q.runUntil(49);
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.nextEventTick(), 50u);
+    q.runUntil(50);
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, EventsMayScheduleWithinWindow)
+{
+    EventQueue q;
+    std::vector<Tick> seen;
+    q.schedule(10, [&] {
+        seen.push_back(10);
+        q.schedule(15, [&] { seen.push_back(15); });
+    });
+    q.runUntil(20);
+    EXPECT_EQ(seen, (std::vector<Tick>{10, 15}));
+}
+
+TEST(EventQueue, EventsMayScheduleBeyondWindow)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(10, [&] {
+        ++count;
+        q.schedule(100, [&] { ++count; });
+    });
+    q.runUntil(50);
+    EXPECT_EQ(count, 1);
+    q.runUntil(100);
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, NullCallbackPanics)
+{
+    EventQueue q;
+    EXPECT_THROW(q.schedule(1, EventQueue::Callback{}),
+                 soefair::PanicError);
+}
+
+TEST(EventQueue, ManyEventsStressOrder)
+{
+    EventQueue q;
+    Tick last = 0;
+    bool monotonic = true;
+    for (Tick t = 1000; t >= 1; --t) {
+        q.schedule(t, [&, t] {
+            if (t < last)
+                monotonic = false;
+            last = t;
+        });
+    }
+    q.runUntil(2000);
+    EXPECT_TRUE(monotonic);
+    EXPECT_EQ(last, 1000u);
+}

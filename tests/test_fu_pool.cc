@@ -1,0 +1,84 @@
+/** @file Unit tests for the functional-unit pool. */
+
+#include <gtest/gtest.h>
+
+#include "cpu/fu_pool.hh"
+
+#include "sim/logging.hh"
+
+using namespace soefair;
+using namespace soefair::cpu;
+using namespace soefair::isa;
+
+TEST(FuPool, PipelinedUnitsAcceptPerCycle)
+{
+    FuPool pool(FuPoolConfig{1, 1, 1, 1, 1, 1, 1});
+    EXPECT_TRUE(pool.canIssue(OpClass::FpMul, 10));
+    pool.occupy(OpClass::FpMul, 10);
+    // Same cycle: the single unit is claimed.
+    EXPECT_FALSE(pool.canIssue(OpClass::FpMul, 10));
+    // Next cycle it accepts again (pipelined).
+    EXPECT_TRUE(pool.canIssue(OpClass::FpMul, 11));
+}
+
+TEST(FuPool, UnpipelinedDividerBlocksForLatency)
+{
+    FuPool pool(FuPoolConfig{1, 1, 1, 1, 1, 1, 1});
+    pool.occupy(OpClass::IntDiv, 0);
+    const Tick lat = opLatency(OpClass::IntDiv);
+    for (Tick t = 0; t < lat; ++t)
+        EXPECT_FALSE(pool.canIssue(OpClass::IntDiv, t)) << t;
+    EXPECT_TRUE(pool.canIssue(OpClass::IntDiv, lat));
+}
+
+TEST(FuPool, MultipleAluUnitsSameCycle)
+{
+    FuPool pool(FuPoolConfig{3, 1, 1, 1, 1, 1, 2});
+    pool.occupy(OpClass::IntAlu, 5);
+    pool.occupy(OpClass::IntAlu, 5);
+    pool.occupy(OpClass::IntAlu, 5);
+    EXPECT_FALSE(pool.canIssue(OpClass::IntAlu, 5));
+    EXPECT_TRUE(pool.canIssue(OpClass::IntAlu, 6));
+}
+
+TEST(FuPool, BranchesShareAluUnits)
+{
+    FuPool pool(FuPoolConfig{1, 1, 1, 1, 1, 1, 1});
+    pool.occupy(OpClass::BranchCond, 0);
+    EXPECT_FALSE(pool.canIssue(OpClass::IntAlu, 0));
+}
+
+TEST(FuPool, LoadsAndStoresShareMemPorts)
+{
+    FuPool pool(FuPoolConfig{3, 1, 1, 1, 1, 1, 2});
+    pool.occupy(OpClass::Load, 0);
+    pool.occupy(OpClass::Store, 0);
+    EXPECT_FALSE(pool.canIssue(OpClass::Load, 0));
+    EXPECT_FALSE(pool.canIssue(OpClass::Store, 0));
+    EXPECT_TRUE(pool.canIssue(OpClass::Load, 1));
+}
+
+TEST(FuPool, IndependentKindsDoNotInterfere)
+{
+    FuPool pool(FuPoolConfig{1, 1, 1, 1, 1, 1, 1});
+    pool.occupy(OpClass::IntAlu, 0);
+    EXPECT_TRUE(pool.canIssue(OpClass::FpAdd, 0));
+    EXPECT_TRUE(pool.canIssue(OpClass::Load, 0));
+}
+
+TEST(FuPool, ResetFreesEverything)
+{
+    FuPool pool(FuPoolConfig{1, 1, 1, 1, 1, 1, 1});
+    pool.occupy(OpClass::IntDiv, 0);
+    pool.occupy(OpClass::IntAlu, 0);
+    pool.reset();
+    EXPECT_TRUE(pool.canIssue(OpClass::IntDiv, 0));
+    EXPECT_TRUE(pool.canIssue(OpClass::IntAlu, 0));
+}
+
+TEST(FuPool, OccupyWithoutCapacityPanics)
+{
+    FuPool pool(FuPoolConfig{1, 1, 1, 1, 1, 1, 1});
+    pool.occupy(OpClass::IntAlu, 0);
+    EXPECT_THROW(pool.occupy(OpClass::IntAlu, 0), PanicError);
+}

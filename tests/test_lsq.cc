@@ -1,0 +1,130 @@
+/** @file Unit tests for the load and store queues. */
+
+#include <gtest/gtest.h>
+
+#include "cpu/lsq.hh"
+
+#include "sim/logging.hh"
+
+using namespace soefair;
+using namespace soefair::cpu;
+using namespace soefair::isa;
+
+namespace
+{
+
+DynInst
+makeStore(InstSeqNum seq, Addr addr, bool data_ready, Tick ready_at = 0)
+{
+    DynInst s;
+    s.op.seqNum = seq;
+    s.op.op = OpClass::Store;
+    s.op.memAddr = addr;
+    s.issued = data_ready;
+    s.completionTick = data_ready ? ready_at : maxTick;
+    return s;
+}
+
+} // namespace
+
+TEST(LoadQueue, OccupancyTracking)
+{
+    LoadQueue lq(2);
+    EXPECT_FALSE(lq.full());
+    lq.add();
+    lq.add();
+    EXPECT_TRUE(lq.full());
+    lq.remove();
+    EXPECT_FALSE(lq.full());
+    lq.squashAll();
+    EXPECT_EQ(lq.occupancy(), 0u);
+}
+
+TEST(LoadQueue, OverUnderflowPanics)
+{
+    LoadQueue lq(1);
+    lq.add();
+    EXPECT_THROW(lq.add(), PanicError);
+    lq.remove();
+    EXPECT_THROW(lq.remove(), PanicError);
+}
+
+TEST(StoreQueue, NoMatchForDisjointAddresses)
+{
+    StoreQueue sq(4);
+    auto st = makeStore(1, 0x1000, true);
+    sq.push(&st);
+    EXPECT_EQ(sq.search(0x2000, 5, 10), StoreQueue::Match::None);
+}
+
+TEST(StoreQueue, ForwardFromReadyOlderStore)
+{
+    StoreQueue sq(4);
+    auto st = makeStore(1, 0x1000, true, 5);
+    sq.push(&st);
+    EXPECT_EQ(sq.search(0x1000, 2, 10), StoreQueue::Match::Forward);
+    // Same 8-byte word, different byte.
+    EXPECT_EQ(sq.search(0x1004, 2, 10), StoreQueue::Match::Forward);
+}
+
+TEST(StoreQueue, BlockOnNotReadyOlderStore)
+{
+    StoreQueue sq(4);
+    auto st = makeStore(1, 0x1000, false);
+    sq.push(&st);
+    EXPECT_EQ(sq.search(0x1000, 2, 10), StoreQueue::Match::Block);
+}
+
+TEST(StoreQueue, YoungerStoresDoNotMatch)
+{
+    StoreQueue sq(4);
+    auto st = makeStore(9, 0x1000, true);
+    sq.push(&st);
+    // Load with seq 5 is OLDER than the store: no dependence.
+    EXPECT_EQ(sq.search(0x1000, 5, 10), StoreQueue::Match::None);
+}
+
+TEST(StoreQueue, YoungestOlderMatchWins)
+{
+    StoreQueue sq(4);
+    auto a = makeStore(1, 0x1000, true, 1);
+    auto b = makeStore(2, 0x1000, false); // younger, not ready
+    sq.push(&a);
+    sq.push(&b);
+    // The load must see the *youngest* older store (b): Block.
+    EXPECT_EQ(sq.search(0x1000, 3, 10), StoreQueue::Match::Block);
+}
+
+TEST(StoreQueue, RetireHeadInOrder)
+{
+    StoreQueue sq(4);
+    auto a = makeStore(1, 0x10, true);
+    auto b = makeStore(2, 0x20, true);
+    sq.push(&a);
+    sq.push(&b);
+    sq.retireHead(&a);
+    EXPECT_EQ(sq.size(), 1u);
+    EXPECT_THROW(sq.retireHead(&a), PanicError);
+    sq.retireHead(&b);
+    EXPECT_TRUE(sq.empty());
+}
+
+TEST(StoreQueue, SquashAllEmpties)
+{
+    StoreQueue sq(4);
+    auto a = makeStore(1, 0x10, true);
+    sq.push(&a);
+    sq.squashAll();
+    EXPECT_TRUE(sq.empty());
+    EXPECT_EQ(sq.search(0x10, 9, 0), StoreQueue::Match::None);
+}
+
+TEST(StoreQueue, FullRejectsPush)
+{
+    StoreQueue sq(1);
+    auto a = makeStore(1, 0x10, true);
+    auto b = makeStore(2, 0x20, true);
+    sq.push(&a);
+    EXPECT_TRUE(sq.full());
+    EXPECT_THROW(sq.push(&b), PanicError);
+}

@@ -1,0 +1,90 @@
+/** @file Unit tests for the synthetic micro-op ISA. */
+
+#include <gtest/gtest.h>
+
+#include "isa/micro_op.hh"
+
+using namespace soefair::isa;
+
+TEST(MicroOp, ClassPredicates)
+{
+    EXPECT_TRUE(isMemOp(OpClass::Load));
+    EXPECT_TRUE(isMemOp(OpClass::Store));
+    EXPECT_FALSE(isMemOp(OpClass::IntAlu));
+    EXPECT_TRUE(isBranch(OpClass::BranchCond));
+    EXPECT_TRUE(isBranch(OpClass::BranchUncond));
+    EXPECT_FALSE(isBranch(OpClass::FpMul));
+}
+
+TEST(MicroOp, LatenciesArePositive)
+{
+    for (unsigned i = 0; i < numOpClasses; ++i) {
+        auto c = static_cast<OpClass>(i);
+        EXPECT_GE(opLatency(c), 1u) << opClassName(c);
+    }
+}
+
+TEST(MicroOp, DividersAreUnpipelined)
+{
+    EXPECT_FALSE(opPipelined(OpClass::IntDiv));
+    EXPECT_FALSE(opPipelined(OpClass::FpDiv));
+    EXPECT_TRUE(opPipelined(OpClass::IntAlu));
+    EXPECT_TRUE(opPipelined(OpClass::Load));
+    EXPECT_TRUE(opPipelined(OpClass::FpMul));
+}
+
+TEST(MicroOp, DivLatencyDominatesAlu)
+{
+    EXPECT_GT(opLatency(OpClass::IntDiv), opLatency(OpClass::IntAlu));
+    EXPECT_GT(opLatency(OpClass::FpDiv), opLatency(OpClass::FpAdd));
+}
+
+TEST(MicroOp, NextPcAndActualNextPc)
+{
+    MicroOp op;
+    op.pc = 0x1000;
+    op.op = OpClass::IntAlu;
+    EXPECT_EQ(op.nextPc(), 0x1004u);
+    EXPECT_EQ(op.actualNextPc(), 0x1004u);
+
+    op.op = OpClass::BranchCond;
+    op.taken = false;
+    op.target = 0x2000;
+    EXPECT_EQ(op.actualNextPc(), 0x1004u);
+    op.taken = true;
+    EXPECT_EQ(op.actualNextPc(), 0x2000u);
+}
+
+TEST(MicroOp, PredicateHelpers)
+{
+    MicroOp op;
+    op.op = OpClass::Load;
+    EXPECT_TRUE(op.isLoad());
+    EXPECT_FALSE(op.isStore());
+    EXPECT_TRUE(op.isMem());
+    op.op = OpClass::Store;
+    EXPECT_TRUE(op.isStore());
+    op.op = OpClass::BranchUncond;
+    EXPECT_TRUE(op.isBranch());
+}
+
+TEST(MicroOp, ToStringMentionsClassAndSeq)
+{
+    MicroOp op;
+    op.seqNum = 1234;
+    op.pc = 0x40;
+    op.op = OpClass::FpMul;
+    auto s = op.toString();
+    EXPECT_NE(s.find("1234"), std::string::npos);
+    EXPECT_NE(s.find("FpMul"), std::string::npos);
+}
+
+TEST(MicroOp, NamesAreDistinct)
+{
+    for (unsigned i = 0; i < numOpClasses; ++i) {
+        for (unsigned j = i + 1; j < numOpClasses; ++j) {
+            EXPECT_STRNE(opClassName(static_cast<OpClass>(i)),
+                         opClassName(static_cast<OpClass>(j)));
+        }
+    }
+}

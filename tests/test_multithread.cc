@@ -1,0 +1,112 @@
+/**
+ * @file
+ * SOE with more than two threads: the paper notes SOE "can easily be
+ * extended to a high number of threads" and Eq. 9 is N-ary. These
+ * tests run 3- and 4-thread systems end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hh"
+#include "harness/machine_config.hh"
+#include "harness/runner.hh"
+#include "soe/policies.hh"
+
+using namespace soefair;
+using namespace soefair::harness;
+
+namespace
+{
+
+RunConfig
+smallRun()
+{
+    RunConfig rc;
+    rc.warmupInstrs = 100 * 1000;
+    rc.timingWarmInstrs = 20 * 1000;
+    rc.measureInstrs = 60 * 1000;
+    return rc;
+}
+
+std::vector<ThreadSpec>
+threeThreads()
+{
+    return {ThreadSpec::benchmark("swim", 1),
+            ThreadSpec::benchmark("gcc", 2),
+            ThreadSpec::benchmark("eon", 3)};
+}
+
+} // namespace
+
+TEST(MultiThread, ThreeThreadsAllProgress)
+{
+    Runner runner(MachineConfig::benchDefault());
+    soe::MissOnlyPolicy pol;
+    auto res = runner.runSoe(threeThreads(), pol, smallRun());
+    EXPECT_FALSE(res.timedOut);
+    for (int t = 0; t < 3; ++t)
+        EXPECT_GE(res.threads[std::size_t(t)].instrs,
+                  smallRun().measureInstrs)
+            << "thread " << t;
+}
+
+TEST(MultiThread, EnforcementImprovesThreeWayFairness)
+{
+    Runner runner(MachineConfig::benchDefault());
+    auto rc = smallRun();
+    std::vector<StRunResult> sts;
+    for (const auto &spec : threeThreads())
+        sts.push_back(runner.runSingleThread(spec, rc));
+
+    auto fairnessOf = [&](const SoeRunResult &r) {
+        std::vector<double> sp;
+        for (std::size_t t = 0; t < 3; ++t)
+            sp.push_back(r.threads[t].ipc / sts[t].ipc);
+        return core::fairnessOfSpeedups(sp);
+    };
+
+    soe::MissOnlyPolicy base;
+    auto res0 = runner.runSoe(threeThreads(), base, rc);
+    soe::FairnessPolicy fair(0.5, 300.0, 3);
+    auto resF = runner.runSoe(threeThreads(), fair, rc);
+
+    EXPECT_GT(fairnessOf(resF), fairnessOf(res0));
+    EXPECT_GT(resF.switchesForced, 0u);
+}
+
+TEST(MultiThread, FourThreadsRotateThroughAll)
+{
+    Runner runner(MachineConfig::benchDefault());
+    auto rc = smallRun();
+    rc.measureInstrs = 40 * 1000;
+    const std::vector<ThreadSpec> specs = {
+        ThreadSpec::benchmark("swim", 1),
+        ThreadSpec::benchmark("applu", 2),
+        ThreadSpec::benchmark("lucas", 3),
+        ThreadSpec::benchmark("mcf", 4)};
+    soe::MissOnlyPolicy pol;
+    auto res = runner.runSoe(specs, pol, rc);
+    EXPECT_FALSE(res.timedOut);
+    for (std::size_t t = 0; t < 4; ++t) {
+        EXPECT_GE(res.threads[t].instrs, rc.measureInstrs)
+            << "thread " << t;
+        EXPECT_GT(res.threads[t].runCycles, 0u) << "thread " << t;
+    }
+    // Miss-bound four-way SOE hides nearly everything: throughput
+    // well above any single thread's share.
+    EXPECT_GT(res.ipcTotal, 0.8);
+}
+
+TEST(MultiThread, QuotaScalesWithThreadCount)
+{
+    // The engine's construction guard: maxCyclesQuota must fit
+    // delta / numThreads for 4 threads too.
+    statistics::Group root("t");
+    soe::MissOnlyPolicy pol;
+    soe::SoeConfig cfg;
+    cfg.delta = 100 * 1000;
+    cfg.maxCyclesQuota = 25 * 1000;
+    EXPECT_NO_THROW(soe::SoeEngine(cfg, pol, 4, &root));
+    cfg.maxCyclesQuota = 26 * 1000;
+    EXPECT_THROW(soe::SoeEngine(cfg, pol, 4, &root), PanicError);
+}

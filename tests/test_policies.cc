@@ -1,0 +1,72 @@
+/** @file Unit tests for the scheduling policies. */
+
+#include <gtest/gtest.h>
+
+#include "soe/policies.hh"
+
+using namespace soefair;
+using namespace soefair::core;
+using namespace soefair::soe;
+
+namespace
+{
+
+HwCounters
+counters(double ipm, double cpm, std::uint64_t misses)
+{
+    return {std::uint64_t(ipm * double(misses)),
+            std::uint64_t(cpm * double(misses)), misses};
+}
+
+} // namespace
+
+TEST(Policies, MissOnlyIsUnlimitedAndSwitchesOnMiss)
+{
+    MissOnlyPolicy p;
+    EXPECT_TRUE(p.switchOnMiss());
+    EXPECT_EQ(p.cycleQuota(), 0u);
+    auto q = p.recompute({HwCounters{}, HwCounters{}}, -1.0);
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q[0], DeficitCounter::unlimited);
+    EXPECT_EQ(p.name(), "miss-only");
+}
+
+TEST(Policies, FairnessPolicyDelegatesToEnforcer)
+{
+    FairnessPolicy p(0.5, 300.0, 2);
+    EXPECT_TRUE(p.switchOnMiss());
+    auto q = p.recompute({counters(1000, 400, 10),
+                          counters(15000, 6000, 2)}, -1.0);
+    EXPECT_NE(q[1], DeficitCounter::unlimited);
+    EXPECT_LE(q[1], 15000.0 + 1e-9);
+    EXPECT_NE(p.name().find("0.5"), std::string::npos);
+    EXPECT_DOUBLE_EQ(p.getEnforcer().targetFairness(), 0.5);
+}
+
+TEST(Policies, TimeShareNeverSwitchesOnMiss)
+{
+    TimeSharePolicy p(400);
+    EXPECT_FALSE(p.switchOnMiss());
+    EXPECT_EQ(p.cycleQuota(), 400u);
+    auto q = p.recompute({HwCounters{}, HwCounters{}}, -1.0);
+    EXPECT_EQ(q[0], DeficitCounter::unlimited);
+    EXPECT_NE(p.name().find("400"), std::string::npos);
+}
+
+TEST(Policies, FixedQuotaAppliesToAllThreads)
+{
+    FixedQuotaPolicy p(2500.0);
+    EXPECT_TRUE(p.switchOnMiss());
+    auto q = p.recompute({HwCounters{}, HwCounters{}, HwCounters{}}, -1.0);
+    for (double v : q)
+        EXPECT_DOUBLE_EQ(v, 2500.0);
+}
+
+TEST(Policies, PolymorphicUse)
+{
+    FairnessPolicy fair(1.0, 300.0, 2);
+    TimeSharePolicy ts(1000);
+    SchedulingPolicy *polys[] = {&fair, &ts};
+    EXPECT_TRUE(polys[0]->switchOnMiss());
+    EXPECT_FALSE(polys[1]->switchOnMiss());
+}

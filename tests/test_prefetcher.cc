@@ -1,0 +1,183 @@
+/** @file Unit tests for the stride prefetcher. */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "mem/prefetcher.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "stats/stats.hh"
+
+using namespace soefair;
+using namespace soefair::mem;
+
+namespace
+{
+
+/** Records requested addresses; fixed latency. */
+class RecordingLevel : public MemLevel
+{
+  public:
+    AccessResult
+    access(const MemReq &req) override
+    {
+        requested.push_back(req.addr);
+        AccessResult r;
+        r.completion = req.when + 50;
+        r.memoryMiss = true;
+        return r;
+    }
+
+    std::vector<Addr> requested;
+};
+
+PrefetcherConfig
+enabledCfg()
+{
+    PrefetcherConfig cfg;
+    cfg.enabled = true;
+    cfg.tableEntries = 8;
+    cfg.degree = 2;
+    cfg.confidence = 2;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Prefetcher, DisabledIssuesNothing)
+{
+    statistics::Group root("t");
+    RecordingLevel mem;
+    StridePrefetcher pf(PrefetcherConfig{}, mem, &root);
+    for (int i = 0; i < 100; ++i)
+        pf.observe(0, Addr(i) * 64, Tick(i));
+    EXPECT_TRUE(mem.requested.empty());
+    EXPECT_EQ(pf.issued.value(), 0u);
+}
+
+TEST(Prefetcher, DetectsLineStride)
+{
+    statistics::Group root("t");
+    RecordingLevel mem;
+    StridePrefetcher pf(enabledCfg(), mem, &root);
+    // Walk a page with a 64-byte stride; after `confidence` repeats
+    // the prefetcher must request the next strided lines.
+    const Addr base = 0x100000;
+    pf.observe(0, base, 0);
+    pf.observe(0, base + 64, 1);  // stride learned
+    pf.observe(0, base + 128, 2); // confidence reached -> issue
+    ASSERT_GE(mem.requested.size(), 2u);
+    EXPECT_EQ(mem.requested[0], base + 192);
+    EXPECT_EQ(mem.requested[1], base + 256);
+}
+
+TEST(Prefetcher, SubLineStrideFetchesNewLinesOnly)
+{
+    statistics::Group root("t");
+    RecordingLevel mem;
+    auto cfg = enabledCfg();
+    cfg.degree = 8;
+    StridePrefetcher pf(cfg, mem, &root);
+    // 8-byte stride: 8 strided elements stay within one line; the
+    // prefetcher must not fetch the same line repeatedly.
+    const Addr base = 0x200000;
+    for (int i = 0; i < 3; ++i)
+        pf.observe(0, base + Addr(i) * 8, Tick(i));
+    for (std::size_t i = 1; i < mem.requested.size(); ++i)
+        EXPECT_NE(mem.requested[i], mem.requested[i - 1]);
+}
+
+TEST(Prefetcher, StrideChangeResetsConfidence)
+{
+    statistics::Group root("t");
+    RecordingLevel mem;
+    StridePrefetcher pf(enabledCfg(), mem, &root);
+    const Addr base = 0x300000;
+    pf.observe(0, base, 0);
+    pf.observe(0, base + 64, 1);
+    pf.observe(0, base + 256, 2);  // stride changed: no issue yet
+    EXPECT_TRUE(mem.requested.empty());
+    pf.observe(0, base + 448, 3);  // 192 repeats -> issue
+    EXPECT_FALSE(mem.requested.empty());
+}
+
+TEST(Prefetcher, NegativeStrideWorks)
+{
+    statistics::Group root("t");
+    RecordingLevel mem;
+    StridePrefetcher pf(enabledCfg(), mem, &root);
+    const Addr base = 0x400000;
+    pf.observe(0, base + 512, 0);
+    pf.observe(0, base + 448, 1);
+    pf.observe(0, base + 384, 2);
+    ASSERT_GE(mem.requested.size(), 1u);
+    EXPECT_EQ(mem.requested[0], base + 320);
+}
+
+TEST(Prefetcher, TableEvictsLru)
+{
+    statistics::Group root("t");
+    RecordingLevel mem;
+    auto cfg = enabledCfg();
+    cfg.tableEntries = 2;
+    StridePrefetcher pf(cfg, mem, &root);
+    // Train three pages; the first one's entry is evicted, so
+    // returning to it must not immediately issue.
+    pf.observe(0, 0x1000, 0);
+    pf.observe(0, 0x2000, 1);
+    pf.observe(0, 0x3000, 2); // evicts page 0x1
+    pf.observe(0, 0x1040, 3); // fresh entry, stride unknown
+    EXPECT_TRUE(mem.requested.empty());
+}
+
+TEST(Prefetcher, CachePrefetchAccounting)
+{
+    statistics::Group root("t");
+    RecordingLevel mem;
+    EventQueue events;
+    Cache cache({"c", 4096, 4, 2, 4}, mem, events, &root);
+
+    // A prefetch fill, then a demand hit on it.
+    MemReq pfReq;
+    pfReq.addr = 0x5000;
+    pfReq.when = 0;
+    pfReq.prefetch = true;
+    auto res = cache.access(pfReq);
+    events.runUntil(res.completion);
+    EXPECT_EQ(cache.prefetchFills.value(), 1u);
+
+    MemReq demand;
+    demand.addr = 0x5008;
+    demand.when = res.completion + 1;
+    auto hit = cache.access(demand);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_EQ(cache.prefetchHits.value(), 1u);
+
+    // Second demand: no double counting.
+    demand.when += 1;
+    cache.access(demand);
+    EXPECT_EQ(cache.prefetchHits.value(), 1u);
+}
+
+TEST(Prefetcher, DemandMergeIntoPrefetchMshrClearsTag)
+{
+    statistics::Group root("t");
+    RecordingLevel mem;
+    EventQueue events;
+    Cache cache({"c", 4096, 4, 2, 4}, mem, events, &root);
+
+    MemReq pfReq;
+    pfReq.addr = 0x6000;
+    pfReq.when = 0;
+    pfReq.prefetch = true;
+    auto res = cache.access(pfReq);
+
+    // Demand merges into the in-flight prefetch: the line must not
+    // be counted as a prefetched fill (the demand was first).
+    MemReq demand;
+    demand.addr = 0x6000;
+    demand.when = 5;
+    cache.access(demand);
+    events.runUntil(res.completion);
+    EXPECT_EQ(cache.prefetchFills.value(), 0u);
+}

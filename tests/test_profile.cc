@@ -1,0 +1,86 @@
+/** @file Unit tests for the benchmark profile registry. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/logging.hh"
+#include "workload/profile.hh"
+
+using namespace soefair;
+using namespace soefair::workload;
+
+TEST(Profile, RegistryHasSixteenBenchmarks)
+{
+    EXPECT_EQ(spec::allNames().size(), 16u);
+}
+
+TEST(Profile, ByNameReturnsMatchingProfile)
+{
+    for (const auto &name : spec::allNames()) {
+        Profile p = spec::byName(name);
+        EXPECT_EQ(p.name, name);
+        EXPECT_GE(p.numPhases(), 1u);
+    }
+}
+
+TEST(Profile, UnknownNameIsFatal)
+{
+    EXPECT_THROW(spec::byName("doom3"), FatalError);
+}
+
+TEST(Profile, EvaluationPairsMatchPaperStructure)
+{
+    auto pairs = spec::evaluationPairs();
+    ASSERT_EQ(pairs.size(), 16u);
+    unsigned homogeneous = 0;
+    for (const auto &[a, b] : pairs) {
+        EXPECT_NO_THROW(spec::byName(a));
+        EXPECT_NO_THROW(spec::byName(b));
+        if (a == b)
+            ++homogeneous;
+    }
+    // Paper Section 4.2: 8 of the 16 combinations are homogeneous.
+    EXPECT_EQ(homogeneous, 8u);
+}
+
+TEST(Profile, PhasesHaveSaneParameters)
+{
+    for (const auto &name : spec::allNames()) {
+        Profile p = spec::byName(name);
+        for (const auto &ph : p.phases) {
+            EXPECT_GT(ph.wIntAlu + ph.wFpAdd + ph.wFpMul, 0.0) << name;
+            EXPECT_GT(ph.wLoad, 0.0) << name;
+            EXPECT_GT(ph.depGeoP, 0.0) << name;
+            EXPECT_LE(ph.depGeoP, 1.0) << name;
+            EXPECT_GE(ph.depNone, 0.0) << name;
+            EXPECT_LT(ph.depNone, 1.0) << name;
+            EXPECT_GE(ph.hotBytes, 4096u) << name;
+            double regionSum = 0.0;
+            for (unsigned k = 0; k < numRegionKinds; ++k)
+                regionSum += ph.wRegion[k];
+            EXPECT_GT(regionSum, 0.0) << name;
+        }
+        EXPECT_GE(p.code.numBlocks, 2u) << name;
+        EXPECT_GE(p.code.blockLenMin, 2u) << name;
+        EXPECT_LE(p.code.blockLenMin, p.code.blockLenMax) << name;
+    }
+}
+
+TEST(Profile, MgridHasPhases)
+{
+    Profile p = spec::byName("mgrid");
+    ASSERT_GE(p.numPhases(), 2u);
+    // Phased profiles must give every phase a duration so the cycle
+    // actually advances.
+    for (const auto &ph : p.phases)
+        EXPECT_GT(ph.duration, 0u);
+}
+
+TEST(Profile, RegionKindNames)
+{
+    EXPECT_STREQ(regionKindName(RegionKind::Hot), "Hot");
+    EXPECT_STREQ(regionKindName(RegionKind::Stream), "Stream");
+    EXPECT_STREQ(regionKindName(RegionKind::Strided), "Strided");
+    EXPECT_STREQ(regionKindName(RegionKind::Chase), "Chase");
+}

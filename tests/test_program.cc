@@ -1,0 +1,127 @@
+/** @file Unit tests for synthetic static program construction. */
+
+#include <gtest/gtest.h>
+
+#include "workload/program.hh"
+
+using namespace soefair;
+using namespace soefair::workload;
+
+namespace
+{
+
+CodeShape
+shape()
+{
+    CodeShape s;
+    s.numBlocks = 128;
+    s.blockLenMin = 4;
+    s.blockLenMax = 10;
+    s.uncondFrac = 0.2;
+    s.flakyBranchFrac = 0.1;
+    return s;
+}
+
+} // namespace
+
+TEST(Program, DeterministicForSameSeed)
+{
+    Program a(shape(), 77, 0x1000);
+    Program b(shape(), 77, 0x1000);
+    ASSERT_EQ(a.numBlocks(), b.numBlocks());
+    for (std::uint32_t i = 0; i < a.numBlocks(); ++i) {
+        EXPECT_EQ(a.block(i).startPc, b.block(i).startPc);
+        EXPECT_EQ(a.block(i).length, b.block(i).length);
+        EXPECT_EQ(a.block(i).takenSucc, b.block(i).takenSucc);
+        EXPECT_DOUBLE_EQ(a.block(i).takenBias, b.block(i).takenBias);
+    }
+}
+
+TEST(Program, DifferentSeedsDiffer)
+{
+    Program a(shape(), 1, 0x1000);
+    Program b(shape(), 2, 0x1000);
+    bool anyDiff = false;
+    for (std::uint32_t i = 0; i < a.numBlocks(); ++i) {
+        if (a.block(i).length != b.block(i).length ||
+            a.block(i).takenSucc != b.block(i).takenSucc) {
+            anyDiff = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(anyDiff);
+}
+
+TEST(Program, BlocksAreContiguousInMemory)
+{
+    Program p(shape(), 5, 0x4000);
+    Addr expect = 0x4000;
+    for (std::uint32_t i = 0; i < p.numBlocks(); ++i) {
+        EXPECT_EQ(p.block(i).startPc, expect);
+        expect += Addr(4) * p.block(i).length;
+    }
+    EXPECT_EQ(p.totalInstrs() * 4, expect - 0x4000);
+}
+
+TEST(Program, BlockLengthsWithinShape)
+{
+    Program p(shape(), 5, 0);
+    for (std::uint32_t i = 0; i < p.numBlocks(); ++i) {
+        EXPECT_GE(p.block(i).length, shape().blockLenMin);
+        EXPECT_LE(p.block(i).length, shape().blockLenMax);
+    }
+}
+
+TEST(Program, SuccessorsAreValidBlocks)
+{
+    Program p(shape(), 5, 0);
+    for (std::uint32_t i = 0; i < p.numBlocks(); ++i) {
+        EXPECT_LT(p.block(i).takenSucc, p.numBlocks());
+        EXPECT_LT(p.block(i).fallSucc, p.numBlocks());
+        EXPECT_NE(p.block(i).takenSucc, i) << "self-loop";
+    }
+}
+
+TEST(Program, BiasesAreProbabilities)
+{
+    Program p(shape(), 5, 0);
+    unsigned uncond = 0, flaky = 0;
+    for (std::uint32_t i = 0; i < p.numBlocks(); ++i) {
+        const auto &b = p.block(i);
+        EXPECT_GE(b.takenBias, 0.0);
+        EXPECT_LE(b.takenBias, 1.0);
+        if (b.uncondTerminator) {
+            ++uncond;
+            EXPECT_DOUBLE_EQ(b.takenBias, 1.0);
+        } else if (b.takenBias > 0.3 && b.takenBias < 0.7) {
+            ++flaky;
+        }
+    }
+    // The fractions are statistical; just require both kinds exist.
+    EXPECT_GT(uncond, 0u);
+    EXPECT_GT(flaky, 0u);
+}
+
+TEST(Program, TerminatorPcInsideBlock)
+{
+    Program p(shape(), 9, 0x100);
+    for (std::uint32_t i = 0; i < p.numBlocks(); ++i) {
+        const auto &b = p.block(i);
+        EXPECT_EQ(b.terminatorPc(), b.startPc + 4 * (b.length - 1));
+        EXPECT_EQ(b.fallThroughPc(), b.startPc + 4 * b.length);
+    }
+}
+
+TEST(Program, RejectsDegenerateShapes)
+{
+    CodeShape bad = shape();
+    bad.numBlocks = 1;
+    EXPECT_THROW(Program(bad, 1, 0), soefair::PanicError);
+    bad = shape();
+    bad.blockLenMin = 1;
+    EXPECT_THROW(Program(bad, 1, 0), soefair::PanicError);
+    bad = shape();
+    bad.blockLenMin = 12;
+    bad.blockLenMax = 4;
+    EXPECT_THROW(Program(bad, 1, 0), soefair::PanicError);
+}

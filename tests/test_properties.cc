@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Property-based tests of the paper's key invariants:
+ *
+ *  - Eq. 9 quotas achieve at least the target fairness in the
+ *    analytical model, over a randomized parameter sweep (the
+ *    paper's footnote 3: "can be proven algebraically").
+ *  - Enforcing the min-ratio metric to F bounds the harmonic-mean
+ *    fairness from below (Section 2.2).
+ *  - The retired instruction stream of a thread under SOE is
+ *    bit-identical to its stream when generated alone (the property
+ *    the runtime estimation relies on).
+ *  - Thread-switch drains never leak pipeline state across threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/analytic.hh"
+#include "core/metrics.hh"
+#include "harness/machine_config.hh"
+#include "harness/runner.hh"
+#include "harness/system.hh"
+#include "sim/random.hh"
+#include "soe/engine.hh"
+#include "soe/policies.hh"
+#include "workload/generator.hh"
+
+using namespace soefair;
+using namespace soefair::core;
+using namespace soefair::harness;
+
+namespace
+{
+
+/** Random but sane two-to-four-thread analytic model. */
+AnalyticSoe
+randomModel(Rng &rng)
+{
+    const unsigned n = unsigned(rng.inRange(2, 4));
+    std::vector<ThreadModel> threads;
+    for (unsigned i = 0; i < n; ++i) {
+        const double ipcNoMiss = 0.2 + rng.real() * 3.3;
+        const double ipm = double(rng.inRange(100, 100000));
+        threads.push_back(ThreadModel::fromIpcNoMiss(ipcNoMiss, ipm));
+    }
+    MachineModel mach;
+    mach.missLat = double(rng.inRange(50, 800));
+    mach.switchLat = double(rng.inRange(1, 60));
+    return AnalyticSoe(threads, mach);
+}
+
+} // namespace
+
+class FairnessGuaranteeProperty
+    : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(FairnessGuaranteeProperty, Eq9AchievesTargetInModel)
+{
+    Rng rng(deriveSeed(0xFA12, GetParam()));
+    for (int trial = 0; trial < 50; ++trial) {
+        AnalyticSoe m = randomModel(rng);
+        for (double f : {0.1, 0.25, 0.5, 0.75, 1.0}) {
+            auto q = m.quotasForFairness(f);
+            EXPECT_GE(m.fairness(q) + 1e-9, f)
+                << "seed-group " << GetParam() << " trial " << trial
+                << " F=" << f;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Randomized, FairnessGuaranteeProperty,
+                         ::testing::Range(0u, 8u));
+
+class HarmonicBoundProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(HarmonicBoundProperty, MinRatioBoundsHarmonicMean)
+{
+    // If fairness(speedups) >= F then the harmonic mean, normalized
+    // by the maximum speedup, is also >= F-dependent bound; in
+    // particular HM/max >= 2F/(1+F) for two threads. We verify the
+    // weaker, paper-claimed direction: min-ratio fairness <=
+    // normalized harmonic mean.
+    Rng rng(deriveSeed(0x4A30, GetParam()));
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<double> sp;
+        const unsigned n = unsigned(rng.inRange(2, 4));
+        double mx = 0.0;
+        for (unsigned i = 0; i < n; ++i) {
+            sp.push_back(0.01 + rng.real());
+            mx = std::max(mx, sp.back());
+        }
+        const double ours = fairnessOfSpeedups(sp);
+        const double hmNorm = harmonicMeanOfSpeedups(sp) / mx;
+        EXPECT_LE(ours, hmNorm + 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Randomized, HarmonicBoundProperty,
+                         ::testing::Range(0u, 4u));
+
+TEST(Properties, RetiredStreamUnderSoeMatchesGeneratedStream)
+{
+    // Reference: generate thread 0's stream directly.
+    workload::WorkloadGenerator ref(
+        workload::spec::byName("gcc"), 0, 7);
+
+    // Run the same workload under SOE against eon and record every
+    // retired op of thread 0.
+    auto mc = MachineConfig::benchDefault();
+    System sys(mc, {ThreadSpec{workload::spec::byName("gcc"), 7, {}},
+                    ThreadSpec{workload::spec::byName("eon"), 8, {}}});
+    soe::FairnessPolicy pol(0.5, 300.0, 2);
+    soe::SoeEngine eng(mc.soe, pol, 2, &sys.stats());
+
+    InstSeqNum expectSeq = 1;
+    bool mismatch = false;
+    sys.core().setRetireHook(
+        [&](const cpu::DynInst &inst, Tick) {
+            if (inst.tid != 0)
+                return;
+            const isa::MicroOp want = ref.next();
+            if (inst.op.seqNum != expectSeq ||
+                inst.op.seqNum != want.seqNum ||
+                inst.op.pc != want.pc || inst.op.op != want.op ||
+                inst.op.memAddr != want.memAddr ||
+                inst.op.taken != want.taken) {
+                mismatch = true;
+            }
+            ++expectSeq;
+        });
+    sys.start(&eng);
+    sys.step(400 * 1000);
+    EXPECT_FALSE(mismatch);
+    EXPECT_GT(expectSeq, 1000u) << "thread 0 barely retired";
+}
+
+TEST(Properties, SwitchDrainLeavesNoCrossThreadState)
+{
+    // After every switch the ROB holds only the active thread's ops
+    // (checked continuously by checkInvariants) and both threads
+    // make progress.
+    auto mc = MachineConfig::benchDefault();
+    System sys(mc, {ThreadSpec::benchmark("swim", 1),
+                    ThreadSpec::benchmark("applu", 2)});
+    soe::MissOnlyPolicy pol;
+    soe::SoeEngine eng(mc.soe, pol, 2, &sys.stats());
+    sys.start(&eng);
+    for (int i = 0; i < 400; ++i) {
+        sys.step(250);
+        ASSERT_NO_THROW(sys.core().checkInvariants(sys.now()));
+    }
+    EXPECT_GT(sys.core().retired(0), 0u);
+    EXPECT_GT(sys.core().retired(1), 0u);
+    EXPECT_GT(sys.core().switchesMiss.value(), 10u);
+}
+
+TEST(Properties, SeqNumsRetireInOrderPerThread)
+{
+    auto mc = MachineConfig::benchDefault();
+    System sys(mc, {ThreadSpec::benchmark("gcc", 3),
+                    ThreadSpec::benchmark("bzip2", 4)});
+    soe::FairnessPolicy pol(1.0, 300.0, 2);
+    soe::SoeEngine eng(mc.soe, pol, 2, &sys.stats());
+    std::vector<InstSeqNum> last(2, 0);
+    bool ordered = true;
+    sys.core().setRetireHook(
+        [&](const cpu::DynInst &inst, Tick) {
+            auto &prev = last[std::size_t(inst.tid)];
+            if (inst.op.seqNum != prev + 1)
+                ordered = false;
+            prev = inst.op.seqNum;
+        });
+    sys.start(&eng);
+    sys.step(300 * 1000);
+    EXPECT_TRUE(ordered);
+}
+
+class SwitchLatencyProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SwitchLatencyProperty, EffectiveSwitchCostNearTwentyFive)
+{
+    // Direct measurement by the paper's definition: cycles from the
+    // start of a switch until the first instruction of the incoming
+    // thread retires; "usually accumulates to around 25 cycles".
+    const unsigned quota = GetParam();
+    auto mc = MachineConfig::benchDefault();
+    System sys(mc, {ThreadSpec::benchmark("crafty", 1),
+                    ThreadSpec::benchmark("crafty", 2)});
+    sys.warmCaches(150 * 1000);
+    soe::FixedQuotaPolicy pol{double(quota)};
+    soe::SoeEngine eng(mc.soe, pol, 2, &sys.stats());
+    sys.start(&eng);
+    sys.step(300 * 1000);
+    ASSERT_GT(eng.switchLatency.count(), 50u);
+    EXPECT_GT(eng.switchLatency.mean(), 12.0) << "quota " << quota;
+    EXPECT_LT(eng.switchLatency.mean(), 45.0) << "quota " << quota;
+}
+
+INSTANTIATE_TEST_SUITE_P(QuotaSweep, SwitchLatencyProperty,
+                         ::testing::Values(500u, 1000u, 2000u));

@@ -1,0 +1,123 @@
+/** @file Tests for the retire tracer and runner stats dumping. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "harness/machine_config.hh"
+#include "harness/retire_trace.hh"
+#include "harness/runner.hh"
+
+using namespace soefair;
+using namespace soefair::harness;
+
+namespace
+{
+
+struct TempFile
+{
+    explicit TempFile(const char *name)
+        : path(std::string("/tmp/soefair_") + name + ".txt") {}
+    ~TempFile() { std::remove(path.c_str()); }
+    std::string path;
+};
+
+RunConfig
+tinyRun()
+{
+    RunConfig rc;
+    rc.warmupInstrs = 30 * 1000;
+    rc.timingWarmInstrs = 5 * 1000;
+    rc.measureInstrs = 20 * 1000;
+    return rc;
+}
+
+} // namespace
+
+TEST(RetireTrace, WritesOneLinePerRetirement)
+{
+    TempFile f("trace");
+    Runner runner(MachineConfig::benchDefault());
+    RunConfig rc = tinyRun();
+    rc.retireTracePath = f.path;
+    auto res = runner.runSingleThread(
+        ThreadSpec::benchmark("eon", 3), rc);
+
+    std::ifstream is(f.path);
+    ASSERT_TRUE(is.good());
+    std::string line;
+    std::getline(is, line);
+    EXPECT_EQ(line[0], '#'); // header
+
+    std::uint64_t lines = 0;
+    std::uint64_t branches = 0, loads = 0;
+    while (std::getline(is, line)) {
+        ++lines;
+        if (line.find("Branch") != std::string::npos)
+            ++branches;
+        if (line.find("Load") != std::string::npos) {
+            ++loads;
+            EXPECT_NE(line.find("addr=0x"), std::string::npos);
+        }
+    }
+    // Tracing starts before the timing warmup, so at least the
+    // measured region's retirements are present.
+    EXPECT_GE(lines, res.instrs);
+    EXPECT_GT(branches, 0u);
+    EXPECT_GT(loads, 0u);
+}
+
+TEST(RetireTrace, SeqNumsMonotonicPerThread)
+{
+    TempFile f("mono");
+    Runner runner(MachineConfig::benchDefault());
+    RunConfig rc = tinyRun();
+    rc.retireTracePath = f.path;
+    soe::FairnessPolicy pol(0.5, 300.0, 2);
+    runner.runSoe({ThreadSpec::benchmark("gcc", 1),
+                   ThreadSpec::benchmark("eon", 2)},
+                  pol, rc);
+
+    std::ifstream is(f.path);
+    std::string line;
+    std::getline(is, line); // header
+    std::uint64_t last[2] = {0, 0};
+    bool monotonic = true;
+    while (std::getline(is, line)) {
+        std::istringstream ls(line);
+        std::uint64_t tick, seq;
+        int tid;
+        ls >> tick >> tid >> seq;
+        if (!ls || tid < 0 || tid > 1)
+            continue;
+        // The first traced op per thread is not seq 1 (the warmup
+        // consumed the stream); from then on, strictly +1.
+        if (last[tid] != 0 && seq != last[tid] + 1)
+            monotonic = false;
+        last[tid] = seq;
+    }
+    EXPECT_TRUE(monotonic);
+    EXPECT_GT(last[0], 0u);
+    EXPECT_GT(last[1], 0u);
+}
+
+TEST(RetireTrace, BadPathIsFatal)
+{
+    EXPECT_THROW(RetireTracer("/nonexistent/dir/trace.txt"),
+                 FatalError);
+}
+
+TEST(RetireTrace, StatsDumpContainsTree)
+{
+    Runner runner(MachineConfig::benchDefault());
+    RunConfig rc = tinyRun();
+    std::ostringstream stats;
+    rc.statsDump = &stats;
+    runner.runSingleThread(ThreadSpec::benchmark("bzip2", 4), rc);
+    const std::string s = stats.str();
+    EXPECT_NE(s.find("system.core.retiredOps"), std::string::npos);
+    EXPECT_NE(s.find("system.mem.l2.accesses"), std::string::npos);
+    EXPECT_NE(s.find("system.soe.samples"), std::string::npos);
+}

@@ -1,0 +1,177 @@
+/** @file Unit tests for the ROB, rename table and issue queue. */
+
+#include <gtest/gtest.h>
+
+#include "cpu/issue_queue.hh"
+#include "cpu/rename.hh"
+#include "cpu/rob.hh"
+
+using namespace soefair;
+using namespace soefair::cpu;
+using namespace soefair::isa;
+
+namespace
+{
+
+DynInst
+makeInst(InstSeqNum seq, RegId dest = invalidReg)
+{
+    DynInst i;
+    i.op.seqNum = seq;
+    i.op.dest = dest;
+    return i;
+}
+
+} // namespace
+
+TEST(Rob, PushPopInOrder)
+{
+    Rob rob(4);
+    rob.push(makeInst(1));
+    rob.push(makeInst(2));
+    EXPECT_EQ(rob.head().op.seqNum, 1u);
+    rob.popHead();
+    EXPECT_EQ(rob.head().op.seqNum, 2u);
+    EXPECT_EQ(rob.size(), 1u);
+}
+
+TEST(Rob, FullnessAndCapacity)
+{
+    Rob rob(2);
+    rob.push(makeInst(1));
+    EXPECT_FALSE(rob.full());
+    rob.push(makeInst(2));
+    EXPECT_TRUE(rob.full());
+    EXPECT_THROW(rob.push(makeInst(3)), PanicError);
+}
+
+TEST(Rob, RejectsOutOfOrderSeq)
+{
+    Rob rob(4);
+    rob.push(makeInst(5));
+    EXPECT_THROW(rob.push(makeInst(7)), PanicError);
+}
+
+TEST(Rob, SquashAllEmpties)
+{
+    Rob rob(4);
+    DynInst &a = rob.push(makeInst(1));
+    rob.push(makeInst(2));
+    EXPECT_TRUE(a.inRob);
+    rob.squashAll();
+    EXPECT_TRUE(rob.empty());
+}
+
+TEST(Rob, PopOfEmptyPanics)
+{
+    Rob rob(2);
+    EXPECT_THROW(rob.popHead(), PanicError);
+    EXPECT_THROW(rob.head(), PanicError);
+}
+
+TEST(Rename, TracksYoungestProducer)
+{
+    Rob rob(8);
+    RenameTable rat;
+    DynInst &a = rob.push(makeInst(1, 5));
+    rat.setProducer(&a);
+    EXPECT_EQ(rat.producer(5), &a);
+    DynInst &b = rob.push(makeInst(2, 5));
+    rat.setProducer(&b);
+    EXPECT_EQ(rat.producer(5), &b);
+}
+
+TEST(Rename, InvalidRegHasNoProducer)
+{
+    RenameTable rat;
+    EXPECT_EQ(rat.producer(invalidReg), nullptr);
+}
+
+TEST(Rename, RetireClearsOnlyIfStillMapped)
+{
+    Rob rob(8);
+    RenameTable rat;
+    DynInst &a = rob.push(makeInst(1, 3));
+    rat.setProducer(&a);
+    DynInst &b = rob.push(makeInst(2, 3));
+    rat.setProducer(&b);
+    // Retiring the older producer must not clear the younger mapping.
+    rat.retire(&a);
+    EXPECT_EQ(rat.producer(3), &b);
+    rat.retire(&b);
+    EXPECT_EQ(rat.producer(3), nullptr);
+}
+
+TEST(Rename, ClearResetsAll)
+{
+    Rob rob(8);
+    RenameTable rat;
+    DynInst &a = rob.push(makeInst(1, 0));
+    rat.setProducer(&a);
+    rat.clear();
+    EXPECT_EQ(rat.producer(0), nullptr);
+}
+
+TEST(IssueQueue, InsertAndCompact)
+{
+    Rob rob(8);
+    IssueQueue iq(4);
+    DynInst &a = rob.push(makeInst(1));
+    DynInst &b = rob.push(makeInst(2));
+    iq.insert(&a);
+    iq.insert(&b);
+    EXPECT_EQ(iq.size(), 2u);
+    a.inIq = false; // issued
+    iq.compact();
+    EXPECT_EQ(iq.size(), 1u);
+    EXPECT_EQ(*iq.begin(), &b);
+}
+
+TEST(IssueQueue, FullRejectsInsert)
+{
+    Rob rob(8);
+    IssueQueue iq(1);
+    DynInst &a = rob.push(makeInst(1));
+    iq.insert(&a);
+    DynInst &b = rob.push(makeInst(2));
+    EXPECT_THROW(iq.insert(&b), PanicError);
+}
+
+TEST(IssueQueue, DropProducerClearsWaiters)
+{
+    Rob rob(8);
+    IssueQueue iq(4);
+    DynInst &p = rob.push(makeInst(1, 2));
+    DynInst &c = rob.push(makeInst(2));
+    c.src[0] = &p;
+    iq.insert(&c);
+    iq.dropProducer(&p);
+    EXPECT_EQ(c.src[0], nullptr);
+}
+
+TEST(IssueQueue, SquashAllClearsFlags)
+{
+    Rob rob(8);
+    IssueQueue iq(4);
+    DynInst &a = rob.push(makeInst(1));
+    iq.insert(&a);
+    iq.squashAll();
+    EXPECT_FALSE(a.inIq);
+    EXPECT_TRUE(iq.empty());
+}
+
+TEST(DynInst, ReadinessSemantics)
+{
+    DynInst p;
+    p.issued = true;
+    p.completionTick = 100;
+    EXPECT_FALSE(p.completedBy(99));
+    EXPECT_TRUE(p.completedBy(100));
+
+    DynInst c;
+    c.src[0] = &p;
+    EXPECT_FALSE(c.srcsReady(99));
+    EXPECT_TRUE(c.srcsReady(100));
+    c.src[1] = nullptr;
+    EXPECT_TRUE(c.srcsReady(100));
+}

@@ -1,0 +1,110 @@
+/** @file Tests for sweep result persistence and CSV output. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "harness/sweep.hh"
+
+using namespace soefair;
+using namespace soefair::harness;
+
+namespace
+{
+
+struct TempFile
+{
+    explicit TempFile(const char *name)
+        : path(std::string("/tmp/soefair_") + name + ".cache") {}
+    ~TempFile() { std::remove(path.c_str()); }
+    std::string path;
+};
+
+std::vector<PairResult>
+sampleResults()
+{
+    std::vector<PairResult> v;
+    PairResult pr;
+    pr.nameA = "gcc";
+    pr.nameB = "eon";
+    pr.stA.ipc = 0.7;
+    pr.stB.ipc = 2.8;
+    for (double f : {0.0, 0.5}) {
+        LevelResult l;
+        l.targetF = f;
+        l.run.threads.resize(2);
+        l.run.threads[0].ipc = f == 0.0 ? 0.02 : 0.2;
+        l.run.threads[1].ipc = f == 0.0 ? 3.0 : 2.4;
+        l.run.ipcTotal =
+            l.run.threads[0].ipc + l.run.threads[1].ipc;
+        l.run.cycles = 123456;
+        l.run.switchesMiss = 10;
+        l.run.switchesForced = f == 0.0 ? 0 : 42;
+        l.run.switchesQuota = 1;
+        l.fairness = f == 0.0 ? 0.03 : 0.33;
+        l.speedupOverSt = 1.5;
+        l.speedups = {l.run.threads[0].ipc / pr.stA.ipc,
+                      l.run.threads[1].ipc / pr.stB.ipc};
+        pr.levels.push_back(l);
+    }
+    v.push_back(pr);
+    return v;
+}
+
+} // namespace
+
+TEST(SweepIo, SaveLoadRoundTrip)
+{
+    TempFile f("roundtrip");
+    auto orig = sampleResults();
+    savePairResults(f.path, "key-v1", orig);
+
+    std::vector<PairResult> back;
+    ASSERT_TRUE(loadPairResults(f.path, "key-v1", back));
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_EQ(back[0].nameA, "gcc");
+    EXPECT_EQ(back[0].nameB, "eon");
+    EXPECT_DOUBLE_EQ(back[0].stA.ipc, 0.7);
+    ASSERT_EQ(back[0].levels.size(), 2u);
+    const auto &l = back[0].level(0.5);
+    EXPECT_DOUBLE_EQ(l.run.threads[1].ipc, 2.4);
+    EXPECT_EQ(l.run.switchesForced, 42u);
+    EXPECT_DOUBLE_EQ(l.fairness, 0.33);
+    // Speedups are reconstructed from the stored IPCs.
+    EXPECT_NEAR(l.speedups[0], 0.2 / 0.7, 1e-12);
+}
+
+TEST(SweepIo, KeyMismatchRejectsCache)
+{
+    TempFile f("key");
+    savePairResults(f.path, "config-A", sampleResults());
+    std::vector<PairResult> back;
+    EXPECT_FALSE(loadPairResults(f.path, "config-B", back));
+    EXPECT_TRUE(loadPairResults(f.path, "config-A", back));
+}
+
+TEST(SweepIo, MissingOrCorruptFileRejected)
+{
+    std::vector<PairResult> back;
+    EXPECT_FALSE(loadPairResults("/nonexistent/c.cache", "k", back));
+
+    TempFile f("corrupt");
+    {
+        std::ofstream os(f.path);
+        os << "k\n1\ngcc eon 0.7"; // truncated
+    }
+    EXPECT_FALSE(loadPairResults(f.path, "k", back));
+}
+
+TEST(SweepIo, CsvHasHeaderAndRows)
+{
+    std::ostringstream os;
+    writePairResultsCsv(os, sampleResults());
+    const std::string s = os.str();
+    EXPECT_NE(s.find("pair,F,ipcST_A"), std::string::npos);
+    EXPECT_NE(s.find("gcc:eon,0,"), std::string::npos);
+    EXPECT_NE(s.find("gcc:eon,0.5,"), std::string::npos);
+    // One header + two level rows.
+    EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 3);
+}

@@ -1,0 +1,135 @@
+/** @file Unit tests for the TLB and its page walker. */
+
+#include <gtest/gtest.h>
+
+#include "mem/tlb.hh"
+#include "sim/logging.hh"
+#include "stats/stats.hh"
+
+using namespace soefair;
+using namespace soefair::mem;
+
+namespace
+{
+
+class FixedLevel : public MemLevel
+{
+  public:
+    AccessResult
+    access(const MemReq &req) override
+    {
+        ++accesses;
+        if (forceRetry) {
+            AccessResult r;
+            r.retry = true;
+            return r;
+        }
+        AccessResult r;
+        r.completion = req.when + 12;
+        r.memoryMiss = missy;
+        return r;
+    }
+
+    unsigned accesses = 0;
+    bool missy = false;
+    bool forceRetry = false;
+};
+
+struct Fixture
+{
+    Fixture(unsigned entries = 4)
+        : root("t"), tlb(TlbConfig{"tlb", entries, 10}, walk, &root)
+    {}
+
+    statistics::Group root;
+    FixedLevel walk;
+    Tlb tlb;
+};
+
+} // namespace
+
+TEST(Tlb, MissWalksThenHits)
+{
+    Fixture f;
+    auto miss = f.tlb.lookup(0, 0x1234000, 5);
+    EXPECT_TRUE(miss.walked);
+    EXPECT_EQ(miss.completion, 5 + 12 + 10u);
+    EXPECT_EQ(f.walk.accesses, 1u);
+
+    auto hit = f.tlb.lookup(0, 0x1234ABC, 100); // same page
+    EXPECT_FALSE(hit.walked);
+    EXPECT_EQ(hit.completion, 100u);
+    EXPECT_EQ(f.walk.accesses, 1u);
+}
+
+TEST(Tlb, DifferentPagesWalkSeparately)
+{
+    Fixture f;
+    f.tlb.lookup(0, 0x1000, 0);
+    f.tlb.lookup(0, 0x2000, 0);
+    EXPECT_EQ(f.walk.accesses, 2u);
+    EXPECT_EQ(f.tlb.walks.value(), 2u);
+}
+
+TEST(Tlb, LruEvictionOnCapacity)
+{
+    Fixture f(2);
+    f.tlb.lookup(0, 0x1000, 0);
+    f.tlb.lookup(0, 0x2000, 1);
+    f.tlb.lookup(0, 0x1000, 2);      // refresh page 1
+    f.tlb.lookup(0, 0x3000, 3);      // evicts page 2
+    EXPECT_FALSE(f.tlb.lookup(0, 0x1000, 4).walked);
+    EXPECT_TRUE(f.tlb.lookup(0, 0x2000, 5).walked);
+}
+
+TEST(Tlb, WalkMemoryMissIsReported)
+{
+    Fixture f;
+    f.walk.missy = true;
+    auto r = f.tlb.lookup(0, 0x9000, 0);
+    EXPECT_TRUE(r.walked);
+    EXPECT_TRUE(r.walkMemoryMiss);
+    EXPECT_EQ(f.tlb.walkL2Misses.value(), 1u);
+}
+
+TEST(Tlb, WalkRetryDoesNotInstall)
+{
+    Fixture f;
+    f.walk.forceRetry = true;
+    auto r = f.tlb.lookup(0, 0x4000, 0);
+    EXPECT_TRUE(r.walked);
+    f.walk.forceRetry = false;
+    // The entry was not installed, so the next lookup walks again.
+    auto r2 = f.tlb.lookup(0, 0x4000, 100);
+    EXPECT_TRUE(r2.walked);
+}
+
+TEST(Tlb, ThreadsHaveDistinctPages)
+{
+    Fixture f;
+    // Thread slices make the VPNs globally unique already; lookups
+    // from different slices never alias.
+    const Addr t0 = (Addr(1) << 40) | 0x1000;
+    const Addr t1 = (Addr(2) << 40) | 0x1000;
+    f.tlb.lookup(0, t0, 0);
+    EXPECT_TRUE(f.tlb.lookup(1, t1, 1).walked);
+}
+
+TEST(Tlb, FlushDropsEverything)
+{
+    Fixture f;
+    f.tlb.lookup(0, 0x1000, 0);
+    f.tlb.flush();
+    EXPECT_TRUE(f.tlb.lookup(0, 0x1000, 1).walked);
+}
+
+TEST(Tlb, StatsCount)
+{
+    Fixture f;
+    f.tlb.lookup(0, 0x1000, 0);
+    f.tlb.lookup(0, 0x1000, 1);
+    f.tlb.lookup(0, 0x2000, 2);
+    EXPECT_EQ(f.tlb.lookups.value(), 3u);
+    EXPECT_EQ(f.tlb.hits.value(), 1u);
+    EXPECT_EQ(f.tlb.walks.value(), 2u);
+}

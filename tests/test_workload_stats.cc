@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Statistical properties of every benchmark stand-in's generated
+ * stream: the dynamic mix matches the profile weights, control flow
+ * matches the code shape, memory streams stay inside their regions.
+ * Parameterized over all 16 profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+using namespace soefair;
+using namespace soefair::isa;
+using namespace soefair::workload;
+
+namespace
+{
+
+constexpr int sampleSize = 60000;
+
+struct StreamStats
+{
+    std::map<OpClass, int> classCount;
+    int branches = 0;
+    int taken = 0;
+    int withDep = 0;
+    int nonBranch = 0;
+    Addr minData = ~Addr(0);
+    Addr maxData = 0;
+};
+
+StreamStats
+collect(const std::string &bench)
+{
+    WorkloadGenerator gen(spec::byName(bench), 0, 1234);
+    StreamStats st;
+    for (int i = 0; i < sampleSize; ++i) {
+        const MicroOp op = gen.next();
+        ++st.classCount[op.op];
+        if (op.isBranch()) {
+            ++st.branches;
+            st.taken += op.taken;
+        } else {
+            ++st.nonBranch;
+            if (op.src0 != invalidReg)
+                ++st.withDep;
+        }
+        if (op.isMem()) {
+            st.minData = std::min(st.minData, op.memAddr);
+            st.maxData = std::max(st.maxData, op.memAddr);
+        }
+    }
+    return st;
+}
+
+} // namespace
+
+class WorkloadStats : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadStats, MixMatchesProfileWeights)
+{
+    const Profile prof = spec::byName(GetParam());
+    const Phase &ph = prof.phase(0);
+    const StreamStats st = collect(GetParam());
+
+    const double wSum = ph.wIntAlu + ph.wIntMul + ph.wIntDiv +
+        ph.wFpAdd + ph.wFpMul + ph.wFpDiv + ph.wLoad + ph.wStore +
+        ph.wPause;
+    auto frac = [&](OpClass c) {
+        auto it = st.classCount.find(c);
+        const int n = it == st.classCount.end() ? 0 : it->second;
+        return double(n) / double(st.nonBranch);
+    };
+    // Loads and stores are the timing-critical classes; 20%
+    // relative tolerance (mgrid's phases shift the mix slightly).
+    EXPECT_NEAR(frac(OpClass::Load), ph.wLoad / wSum,
+                0.2 * ph.wLoad / wSum + 0.01);
+    EXPECT_NEAR(frac(OpClass::Store), ph.wStore / wSum,
+                0.2 * ph.wStore / wSum + 0.01);
+    const auto fpAdds = st.classCount.count(OpClass::FpAdd)
+        ? st.classCount.at(OpClass::FpAdd) : 0;
+    if (ph.wFpAdd > 0)
+        EXPECT_GT(fpAdds, 0);
+    else
+        EXPECT_EQ(fpAdds, 0);
+}
+
+TEST_P(WorkloadStats, BranchFractionMatchesBlockLength)
+{
+    const Profile prof = spec::byName(GetParam());
+    const StreamStats st = collect(GetParam());
+    const double avgLen =
+        0.5 * (prof.code.blockLenMin + prof.code.blockLenMax);
+    const double measured =
+        double(st.branches) / double(sampleSize);
+    EXPECT_NEAR(measured, 1.0 / avgLen, 0.35 / avgLen)
+        << GetParam();
+    // Some branches are taken, some not (biases span both).
+    EXPECT_GT(st.taken, 0);
+    EXPECT_LT(st.taken, st.branches);
+}
+
+TEST_P(WorkloadStats, DataAddressesStayInThreadSlice)
+{
+    const StreamStats st = collect(GetParam());
+    // Thread 0's slice starts at 1 TiB; data regions are below the
+    // code slice at +512 GiB.
+    EXPECT_GE(st.minData, Addr(1) << 40);
+    EXPECT_LT(st.maxData, (Addr(1) << 40) + (Addr(1) << 39));
+}
+
+TEST_P(WorkloadStats, DependenciesExist)
+{
+    const Profile prof = spec::byName(GetParam());
+    const StreamStats st = collect(GetParam());
+    const double depFrac =
+        double(st.withDep) / double(st.nonBranch);
+    // At least some sampled ops depend on earlier producers and the
+    // fraction loosely follows 1 - depNone (pause ops and stream
+    // starts have none).
+    EXPECT_GT(depFrac, 0.25) << GetParam();
+    EXPECT_LT(depFrac, 1.0 - prof.phase(0).depNone + 0.25)
+        << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, WorkloadStats,
+    ::testing::ValuesIn(spec::allNames()),
+    [](const ::testing::TestParamInfo<std::string> &param_info) {
+        return param_info.param;
+    });

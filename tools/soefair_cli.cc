@@ -1,0 +1,394 @@
+/**
+ * @file
+ * The soefair command-line driver.
+ *
+ *   soefair_cli <command> [args] [options]
+ *
+ * Commands:
+ *   list                         list the available benchmarks
+ *   machine                      print the simulated machine (Table 3)
+ *   run-st <bench>               run one benchmark alone
+ *   run-soe <benchA> <benchB>..  run 2+ benchmarks under SOE;
+ *                                a name of the form trace:<path>
+ *                                replays a recorded trace file
+ *   record-trace <bench>         record a workload to a trace file
+ *                                (--out file, --instrs N, --seed S)
+ *   sweep                        run benchmark pairs across F levels
+ *                                and emit CSV (--pairs a:b,c:d
+ *                                defaults to the paper's 16; --out
+ *                                file defaults to stdout)
+ *   analytic                     evaluate the analytical model
+ *
+ * Common options:
+ *   --seed N          master seed base (default 1)
+ *   --instrs N        measured instructions per thread
+ *   --warmup N        functional warmup instructions per thread
+ *   --scale X         scale all run lengths (like SOEFAIR_SCALE)
+ *
+ * run-soe options:
+ *   --policy P        miss-only | fairness | timeshare | quota
+ *   --F X             target fairness for the fairness policy (0.5)
+ *   --tsquota N       cycle quantum for timeshare (2000)
+ *   --iquota N        instruction quota for the quota policy (2000)
+ *   --measured        use measured Miss_lat (Section 6 extension)
+ *   --l1-switch       also switch on L1 misses (Section 6 extension)
+ *   --windows         print the per-delta-window table
+ *   --stats           dump the full statistics tree to stderr
+ *   --retire-trace F  write a text retirement trace to file F
+ *
+ * analytic options:
+ *   --ipc a,b[,c...]  per-thread IPC_no_miss (default 2.5,2.5)
+ *   --ipm a,b[,c...]  per-thread instructions per miss (15000,1000)
+ *   --F X             target fairness (sweeps 0,1/4,1/2,1 if absent)
+ *   --misslat N       model Miss_lat (300)
+ *   --swlat N         model Switch_lat (25)
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/analytic.hh"
+#include "core/metrics.hh"
+#include "harness/cli.hh"
+#include "harness/machine_config.hh"
+#include "harness/runner.hh"
+#include "harness/sweep.hh"
+#include "harness/table.hh"
+#include "sim/logging.hh"
+#include "soe/policies.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+#include "workload/trace_file.hh"
+
+using namespace soefair;
+using namespace soefair::harness;
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr <<
+        "usage: soefair_cli <command> [args] [options]\n"
+        "commands: list | machine | run-st <bench> | "
+        "run-soe <benchA> <benchB>... | record-trace <bench> | "
+        "sweep | analytic\n"
+        "see the header of tools/soefair_cli.cc for all options\n";
+    return 2;
+}
+
+RunConfig
+runConfigFrom(const CliOptions &opts)
+{
+    RunConfig rc = RunConfig::fromEnv();
+    if (opts.hasOption("scale"))
+        rc = rc.scaled(opts.getDouble("scale", 1.0));
+    rc.measureInstrs = opts.getUint("instrs", rc.measureInstrs);
+    rc.warmupInstrs = opts.getUint("warmup", rc.warmupInstrs);
+    if (opts.hasFlag("stats"))
+        rc.statsDump = &std::cerr;
+    rc.retireTracePath = opts.getString("retire-trace", "");
+    return rc;
+}
+
+ThreadSpec
+specFor(const std::string &name, std::uint64_t seed)
+{
+    if (name.rfind("trace:", 0) == 0)
+        return ThreadSpec::trace(name.substr(6));
+    return ThreadSpec::benchmark(name, seed);
+}
+
+std::vector<double>
+parseList(const std::string &csv)
+{
+    std::vector<double> vals;
+    std::stringstream ss(csv);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        vals.push_back(std::atof(item.c_str()));
+    return vals;
+}
+
+int
+cmdList()
+{
+    std::cout << "Available benchmarks (SPEC CPU2000 stand-ins):\n";
+    for (const auto &name : workload::spec::allNames())
+        std::cout << "  " << name << "\n";
+    return 0;
+}
+
+int
+cmdMachine()
+{
+    MachineConfig::paperDefault().print(std::cout);
+    return 0;
+}
+
+int
+cmdRunSt(const CliOptions &opts)
+{
+    if (opts.positional().size() < 2) {
+        std::cerr << "run-st needs a benchmark name\n";
+        return 2;
+    }
+    const std::string bench = opts.positional()[1];
+    Runner runner(MachineConfig::benchDefault());
+    auto res = runner.runSingleThread(
+        ThreadSpec::benchmark(bench, opts.getUint("seed", 1)),
+        runConfigFrom(opts));
+
+    TextTable t({"metric", "value"});
+    t.addRow({"IPC", TextTable::num(res.ipc, 4)});
+    t.addRow({"instructions", std::to_string(res.instrs)});
+    t.addRow({"cycles", std::to_string(res.cycles)});
+    t.addRow({"L2 misses", std::to_string(res.misses)});
+    t.addRow({"IPM", TextTable::num(res.ipm, 1)});
+    t.addRow({"CPM", TextTable::num(res.cpm, 1)});
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdRunSoe(const CliOptions &opts)
+{
+    const auto &pos = opts.positional();
+    if (pos.size() < 3) {
+        std::cerr << "run-soe needs at least two benchmark names\n";
+        return 2;
+    }
+    const unsigned n = unsigned(pos.size() - 1);
+    const std::uint64_t seed = opts.getUint("seed", 1);
+
+    MachineConfig mc = MachineConfig::benchDefault();
+    if (opts.hasFlag("l1-switch"))
+        mc.soe.switchOnL1Miss = true;
+    Runner runner(mc);
+    RunConfig rc = runConfigFrom(opts);
+
+    std::vector<ThreadSpec> specs;
+    std::vector<StRunResult> sts;
+    for (unsigned i = 0; i < n; ++i) {
+        specs.push_back(specFor(pos[1 + i], seed + i));
+        std::cerr << "[cli] reference run: " << pos[1 + i] << "\n";
+        // Reference runs never dump stats or traces.
+        RunConfig refRc = rc;
+        refRc.statsDump = nullptr;
+        refRc.retireTracePath.clear();
+        sts.push_back(runner.runSingleThread(specs.back(), refRc));
+    }
+
+    const std::string polName =
+        opts.getString("policy", "fairness");
+    std::unique_ptr<soe::SchedulingPolicy> policy;
+    if (polName == "miss-only") {
+        policy = std::make_unique<soe::MissOnlyPolicy>();
+    } else if (polName == "fairness") {
+        policy = std::make_unique<soe::FairnessPolicy>(
+            opts.getDouble("F", 0.5), mc.soe.missLatency, n,
+            opts.hasFlag("measured"));
+    } else if (polName == "timeshare") {
+        policy = std::make_unique<soe::TimeSharePolicy>(
+            opts.getUint("tsquota", 2000));
+    } else if (polName == "quota") {
+        policy = std::make_unique<soe::FixedQuotaPolicy>(
+            double(opts.getUint("iquota", 2000)));
+    } else {
+        std::cerr << "unknown policy '" << polName << "'\n";
+        return 2;
+    }
+
+    std::cerr << "[cli] SOE run (" << policy->name() << ")\n";
+    auto res = runner.runSoe(specs, *policy, rc,
+                             opts.hasFlag("windows"));
+
+    TextTable t({"thread", "bench", "IPC alone", "IPC SOE",
+                 "speedup"});
+    std::vector<double> speedups;
+    for (unsigned i = 0; i < n; ++i) {
+        speedups.push_back(res.threads[i].ipc / sts[i].ipc);
+        t.addRow({std::to_string(i), pos[1 + i],
+                  TextTable::num(sts[i].ipc, 3),
+                  TextTable::num(res.threads[i].ipc, 3),
+                  TextTable::num(speedups.back(), 3)});
+    }
+    t.print(std::cout);
+    std::cout << "policy          : " << policy->name() << "\n"
+              << "total IPC       : "
+              << TextTable::num(res.ipcTotal, 4) << "\n"
+              << "fairness (Eq.4) : "
+              << TextTable::num(core::fairnessOfSpeedups(speedups), 3)
+              << "\n"
+              << "switches        : " << res.switchesMiss
+              << " miss / " << res.switchesForced << " forced / "
+              << res.switchesQuota << " quota\n";
+
+    if (opts.hasFlag("windows")) {
+        std::cout << "\nPer-delta windows:\n";
+        TextTable w({"end tick", "measured Miss_lat", "quotas..."});
+        for (const auto &win : res.windows) {
+            std::string quotas;
+            for (const auto &th : win.threads) {
+                quotas += th.quota > 1e17
+                    ? "inf "
+                    : TextTable::num(th.quota, 0) + " ";
+            }
+            w.addRow({std::to_string(win.endTick),
+                      TextTable::num(win.measuredMissLat, 0),
+                      quotas});
+        }
+        w.print(std::cout);
+    }
+    return 0;
+}
+
+int
+cmdRecordTrace(const CliOptions &opts)
+{
+    if (opts.positional().size() < 2) {
+        std::cerr << "record-trace needs a benchmark name\n";
+        return 2;
+    }
+    const std::string bench = opts.positional()[1];
+    const std::string out =
+        opts.getString("out", bench + ".soetrace");
+    const std::uint64_t instrs =
+        opts.getUint("instrs", 1000 * 1000);
+    workload::WorkloadGenerator gen(
+        workload::spec::byName(bench), 0, opts.getUint("seed", 1));
+    workload::TraceWriter writer(out, 0);
+    writer.record(gen, instrs);
+    writer.close();
+    std::cout << "wrote " << writer.written() << " ops to " << out
+              << "\n";
+    return 0;
+}
+
+int
+cmdSweep(const CliOptions &opts)
+{
+    std::vector<std::pair<std::string, std::string>> pairs;
+    const std::string pairsArg = opts.getString("pairs", "");
+    if (pairsArg.empty()) {
+        pairs = workload::spec::evaluationPairs();
+    } else {
+        std::stringstream ss(pairsArg);
+        std::string item;
+        while (std::getline(ss, item, ',')) {
+            const auto colon = item.find(':');
+            if (colon == std::string::npos) {
+                std::cerr << "--pairs expects a:b,c:d\n";
+                return 2;
+            }
+            pairs.emplace_back(item.substr(0, colon),
+                               item.substr(colon + 1));
+        }
+    }
+
+    EvaluationSweep sweep(MachineConfig::benchDefault(),
+                          runConfigFrom(opts));
+    std::vector<PairResult> results;
+    for (const auto &[a, b] : pairs) {
+        std::cerr << "[sweep] " << a << ":" << b << "\n";
+        results.push_back(sweep.runPair(
+            a, b, EvaluationSweep::standardLevels(), &std::cerr));
+    }
+
+    const std::string out = opts.getString("out", "");
+    if (out.empty()) {
+        writePairResultsCsv(std::cout, results);
+    } else {
+        std::ofstream os(out);
+        if (!os) {
+            std::cerr << "cannot write '" << out << "'\n";
+            return 1;
+        }
+        writePairResultsCsv(os, results);
+        std::cout << "wrote " << results.size() << " pairs to "
+                  << out << "\n";
+    }
+    return 0;
+}
+
+int
+cmdAnalytic(const CliOptions &opts)
+{
+    const auto ipcs =
+        parseList(opts.getString("ipc", "2.5,2.5"));
+    const auto ipms =
+        parseList(opts.getString("ipm", "15000,1000"));
+    if (ipcs.size() != ipms.size() || ipcs.size() < 2) {
+        std::cerr << "--ipc and --ipm need matching lists of >= 2 "
+                  << "values\n";
+        return 2;
+    }
+    std::vector<core::ThreadModel> threads;
+    for (std::size_t i = 0; i < ipcs.size(); ++i) {
+        threads.push_back(
+            core::ThreadModel::fromIpcNoMiss(ipcs[i], ipms[i]));
+    }
+    core::AnalyticSoe m(threads,
+                        {opts.getDouble("misslat", 300.0),
+                         opts.getDouble("swlat", 25.0)});
+
+    std::vector<double> fs = {0.0, 0.25, 0.5, 1.0};
+    if (opts.hasOption("F"))
+        fs = {opts.getDouble("F", 0.5)};
+
+    TextTable t({"F", "fairness", "throughput", "speedup/ST",
+                 "quotas..."});
+    for (double f : fs) {
+        auto q = m.quotasForFairness(f);
+        std::string quotas;
+        for (double v : q)
+            quotas += TextTable::num(v, 0) + " ";
+        t.addRow({f == 0 ? "0" : TextTable::num(f, 3),
+                  TextTable::num(m.fairness(q), 3),
+                  TextTable::num(m.throughput(q), 3),
+                  TextTable::num(m.speedupOverSingleThread(q), 3),
+                  quotas});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+
+    const std::vector<std::string> flagNames = {
+        "measured", "l1-switch", "windows", "stats"};
+    CliOptions opts(argc - 1, argv + 1, flagNames);
+    if (opts.positional().empty())
+        return usage();
+
+    try {
+        const std::string &cmd = opts.positional()[0];
+        if (cmd == "list")
+            return cmdList();
+        if (cmd == "machine")
+            return cmdMachine();
+        if (cmd == "run-st")
+            return cmdRunSt(opts);
+        if (cmd == "run-soe")
+            return cmdRunSoe(opts);
+        if (cmd == "record-trace")
+            return cmdRecordTrace(opts);
+        if (cmd == "sweep")
+            return cmdSweep(opts);
+        if (cmd == "analytic")
+            return cmdAnalytic(opts);
+        std::cerr << "unknown command '" << cmd << "'\n";
+        return usage();
+    } catch (const FatalError &e) {
+        // fatal() already printed the message.
+        return 1;
+    }
+}
