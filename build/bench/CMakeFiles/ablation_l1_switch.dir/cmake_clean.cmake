@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_l1_switch.dir/ablation_l1_switch.cc.o"
+  "CMakeFiles/ablation_l1_switch.dir/ablation_l1_switch.cc.o.d"
+  "ablation_l1_switch"
+  "ablation_l1_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_l1_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_measured_misslat.dir/ablation_measured_misslat.cc.o"
+  "CMakeFiles/ablation_measured_misslat.dir/ablation_measured_misslat.cc.o.d"
+  "ablation_measured_misslat"
+  "ablation_measured_misslat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_measured_misslat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

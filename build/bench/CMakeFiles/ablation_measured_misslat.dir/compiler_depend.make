@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_measured_misslat.
+# This may be replaced when dependencies are built.

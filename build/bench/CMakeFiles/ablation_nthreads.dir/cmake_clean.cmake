@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nthreads.dir/ablation_nthreads.cc.o"
+  "CMakeFiles/ablation_nthreads.dir/ablation_nthreads.cc.o.d"
+  "ablation_nthreads"
+  "ablation_nthreads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nthreads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_quota.dir/ablation_quota.cc.o"
+  "CMakeFiles/ablation_quota.dir/ablation_quota.cc.o.d"
+  "ablation_quota"
+  "ablation_quota.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_quota.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_switch_lat.dir/ablation_switch_lat.cc.o"
+  "CMakeFiles/ablation_switch_lat.dir/ablation_switch_lat.cc.o.d"
+  "ablation_switch_lat"
+  "ablation_switch_lat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_switch_lat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

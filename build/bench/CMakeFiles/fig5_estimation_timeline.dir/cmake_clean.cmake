@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_estimation_timeline.dir/fig5_estimation_timeline.cc.o"
+  "CMakeFiles/fig5_estimation_timeline.dir/fig5_estimation_timeline.cc.o.d"
+  "fig5_estimation_timeline"
+  "fig5_estimation_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_estimation_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_degradation.dir/fig7_degradation.cc.o"
+  "CMakeFiles/fig7_degradation.dir/fig7_degradation.cc.o.d"
+  "fig7_degradation"
+  "fig7_degradation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

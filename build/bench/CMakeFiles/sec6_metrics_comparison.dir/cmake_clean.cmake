@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6_metrics_comparison.dir/sec6_metrics_comparison.cc.o"
+  "CMakeFiles/sec6_metrics_comparison.dir/sec6_metrics_comparison.cc.o.d"
+  "sec6_metrics_comparison"
+  "sec6_metrics_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6_metrics_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6_timeshare_ablation.dir/sec6_timeshare_ablation.cc.o"
+  "CMakeFiles/sec6_timeshare_ablation.dir/sec6_timeshare_ablation.cc.o.d"
+  "sec6_timeshare_ablation"
+  "sec6_timeshare_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6_timeshare_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soefair_bench_common.dir/eval_common.cc.o"
+  "CMakeFiles/soefair_bench_common.dir/eval_common.cc.o.d"
+  "libsoefair_bench_common.a"
+  "libsoefair_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soefair_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

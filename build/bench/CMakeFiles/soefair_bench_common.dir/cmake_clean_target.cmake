@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsoefair_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/busywait_yield.dir/busywait_yield.cpp.o"
+  "CMakeFiles/busywait_yield.dir/busywait_yield.cpp.o.d"
+  "busywait_yield"
+  "busywait_yield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/busywait_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairness_tuning.dir/fairness_tuning.cpp.o"
+  "CMakeFiles/fairness_tuning.dir/fairness_tuning.cpp.o.d"
+  "fairness_tuning"
+  "fairness_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairness_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeshare_vs_soe.dir/timeshare_vs_soe.cpp.o"
+  "CMakeFiles/timeshare_vs_soe.dir/timeshare_vs_soe.cpp.o.d"
+  "timeshare_vs_soe"
+  "timeshare_vs_soe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeshare_vs_soe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

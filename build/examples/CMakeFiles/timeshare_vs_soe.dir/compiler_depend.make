@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for timeshare_vs_soe.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analytic.cc" "src/CMakeFiles/soefair.dir/core/analytic.cc.o" "gcc" "src/CMakeFiles/soefair.dir/core/analytic.cc.o.d"
+  "/root/repo/src/core/enforcer.cc" "src/CMakeFiles/soefair.dir/core/enforcer.cc.o" "gcc" "src/CMakeFiles/soefair.dir/core/enforcer.cc.o.d"
+  "/root/repo/src/core/estimator.cc" "src/CMakeFiles/soefair.dir/core/estimator.cc.o" "gcc" "src/CMakeFiles/soefair.dir/core/estimator.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/CMakeFiles/soefair.dir/core/metrics.cc.o" "gcc" "src/CMakeFiles/soefair.dir/core/metrics.cc.o.d"
+  "/root/repo/src/cpu/branch_predictor.cc" "src/CMakeFiles/soefair.dir/cpu/branch_predictor.cc.o" "gcc" "src/CMakeFiles/soefair.dir/cpu/branch_predictor.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "src/CMakeFiles/soefair.dir/cpu/core.cc.o" "gcc" "src/CMakeFiles/soefair.dir/cpu/core.cc.o.d"
+  "/root/repo/src/cpu/fetch.cc" "src/CMakeFiles/soefair.dir/cpu/fetch.cc.o" "gcc" "src/CMakeFiles/soefair.dir/cpu/fetch.cc.o.d"
+  "/root/repo/src/cpu/fu_pool.cc" "src/CMakeFiles/soefair.dir/cpu/fu_pool.cc.o" "gcc" "src/CMakeFiles/soefair.dir/cpu/fu_pool.cc.o.d"
+  "/root/repo/src/cpu/issue_queue.cc" "src/CMakeFiles/soefair.dir/cpu/issue_queue.cc.o" "gcc" "src/CMakeFiles/soefair.dir/cpu/issue_queue.cc.o.d"
+  "/root/repo/src/cpu/lsq.cc" "src/CMakeFiles/soefair.dir/cpu/lsq.cc.o" "gcc" "src/CMakeFiles/soefair.dir/cpu/lsq.cc.o.d"
+  "/root/repo/src/cpu/store_buffer.cc" "src/CMakeFiles/soefair.dir/cpu/store_buffer.cc.o" "gcc" "src/CMakeFiles/soefair.dir/cpu/store_buffer.cc.o.d"
+  "/root/repo/src/harness/cli.cc" "src/CMakeFiles/soefair.dir/harness/cli.cc.o" "gcc" "src/CMakeFiles/soefair.dir/harness/cli.cc.o.d"
+  "/root/repo/src/harness/machine_config.cc" "src/CMakeFiles/soefair.dir/harness/machine_config.cc.o" "gcc" "src/CMakeFiles/soefair.dir/harness/machine_config.cc.o.d"
+  "/root/repo/src/harness/runner.cc" "src/CMakeFiles/soefair.dir/harness/runner.cc.o" "gcc" "src/CMakeFiles/soefair.dir/harness/runner.cc.o.d"
+  "/root/repo/src/harness/sweep.cc" "src/CMakeFiles/soefair.dir/harness/sweep.cc.o" "gcc" "src/CMakeFiles/soefair.dir/harness/sweep.cc.o.d"
+  "/root/repo/src/harness/system.cc" "src/CMakeFiles/soefair.dir/harness/system.cc.o" "gcc" "src/CMakeFiles/soefair.dir/harness/system.cc.o.d"
+  "/root/repo/src/harness/table.cc" "src/CMakeFiles/soefair.dir/harness/table.cc.o" "gcc" "src/CMakeFiles/soefair.dir/harness/table.cc.o.d"
+  "/root/repo/src/isa/micro_op.cc" "src/CMakeFiles/soefair.dir/isa/micro_op.cc.o" "gcc" "src/CMakeFiles/soefair.dir/isa/micro_op.cc.o.d"
+  "/root/repo/src/mem/bus.cc" "src/CMakeFiles/soefair.dir/mem/bus.cc.o" "gcc" "src/CMakeFiles/soefair.dir/mem/bus.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/soefair.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/soefair.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/CMakeFiles/soefair.dir/mem/hierarchy.cc.o" "gcc" "src/CMakeFiles/soefair.dir/mem/hierarchy.cc.o.d"
+  "/root/repo/src/mem/memory.cc" "src/CMakeFiles/soefair.dir/mem/memory.cc.o" "gcc" "src/CMakeFiles/soefair.dir/mem/memory.cc.o.d"
+  "/root/repo/src/mem/prefetcher.cc" "src/CMakeFiles/soefair.dir/mem/prefetcher.cc.o" "gcc" "src/CMakeFiles/soefair.dir/mem/prefetcher.cc.o.d"
+  "/root/repo/src/mem/tlb.cc" "src/CMakeFiles/soefair.dir/mem/tlb.cc.o" "gcc" "src/CMakeFiles/soefair.dir/mem/tlb.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/soefair.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/soefair.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/soefair.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/soefair.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sim/random.cc" "src/CMakeFiles/soefair.dir/sim/random.cc.o" "gcc" "src/CMakeFiles/soefair.dir/sim/random.cc.o.d"
+  "/root/repo/src/soe/engine.cc" "src/CMakeFiles/soefair.dir/soe/engine.cc.o" "gcc" "src/CMakeFiles/soefair.dir/soe/engine.cc.o.d"
+  "/root/repo/src/soe/policies.cc" "src/CMakeFiles/soefair.dir/soe/policies.cc.o" "gcc" "src/CMakeFiles/soefair.dir/soe/policies.cc.o.d"
+  "/root/repo/src/stats/stats.cc" "src/CMakeFiles/soefair.dir/stats/stats.cc.o" "gcc" "src/CMakeFiles/soefair.dir/stats/stats.cc.o.d"
+  "/root/repo/src/workload/address_stream.cc" "src/CMakeFiles/soefair.dir/workload/address_stream.cc.o" "gcc" "src/CMakeFiles/soefair.dir/workload/address_stream.cc.o.d"
+  "/root/repo/src/workload/checkpoint.cc" "src/CMakeFiles/soefair.dir/workload/checkpoint.cc.o" "gcc" "src/CMakeFiles/soefair.dir/workload/checkpoint.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/soefair.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/soefair.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/inst_stream.cc" "src/CMakeFiles/soefair.dir/workload/inst_stream.cc.o" "gcc" "src/CMakeFiles/soefair.dir/workload/inst_stream.cc.o.d"
+  "/root/repo/src/workload/profile.cc" "src/CMakeFiles/soefair.dir/workload/profile.cc.o" "gcc" "src/CMakeFiles/soefair.dir/workload/profile.cc.o.d"
+  "/root/repo/src/workload/program.cc" "src/CMakeFiles/soefair.dir/workload/program.cc.o" "gcc" "src/CMakeFiles/soefair.dir/workload/program.cc.o.d"
+  "/root/repo/src/workload/trace_file.cc" "src/CMakeFiles/soefair.dir/workload/trace_file.cc.o" "gcc" "src/CMakeFiles/soefair.dir/workload/trace_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_address_stream.cc" "tests/CMakeFiles/soefair_tests.dir/test_address_stream.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_address_stream.cc.o.d"
+  "/root/repo/tests/test_analytic.cc" "tests/CMakeFiles/soefair_tests.dir/test_analytic.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_analytic.cc.o.d"
+  "/root/repo/tests/test_branch_predictor.cc" "tests/CMakeFiles/soefair_tests.dir/test_branch_predictor.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_branch_predictor.cc.o.d"
+  "/root/repo/tests/test_bus_memory.cc" "tests/CMakeFiles/soefair_tests.dir/test_bus_memory.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_bus_memory.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/soefair_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_calibration.cc" "tests/CMakeFiles/soefair_tests.dir/test_calibration.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_calibration.cc.o.d"
+  "/root/repo/tests/test_checkpoint.cc" "tests/CMakeFiles/soefair_tests.dir/test_checkpoint.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_checkpoint.cc.o.d"
+  "/root/repo/tests/test_cli.cc" "tests/CMakeFiles/soefair_tests.dir/test_cli.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_cli.cc.o.d"
+  "/root/repo/tests/test_config_sweep.cc" "tests/CMakeFiles/soefair_tests.dir/test_config_sweep.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_config_sweep.cc.o.d"
+  "/root/repo/tests/test_core_single_thread.cc" "tests/CMakeFiles/soefair_tests.dir/test_core_single_thread.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_core_single_thread.cc.o.d"
+  "/root/repo/tests/test_core_soe.cc" "tests/CMakeFiles/soefair_tests.dir/test_core_soe.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_core_soe.cc.o.d"
+  "/root/repo/tests/test_deficit.cc" "tests/CMakeFiles/soefair_tests.dir/test_deficit.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_deficit.cc.o.d"
+  "/root/repo/tests/test_enforcer.cc" "tests/CMakeFiles/soefair_tests.dir/test_enforcer.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_enforcer.cc.o.d"
+  "/root/repo/tests/test_engine.cc" "tests/CMakeFiles/soefair_tests.dir/test_engine.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_engine.cc.o.d"
+  "/root/repo/tests/test_estimator.cc" "tests/CMakeFiles/soefair_tests.dir/test_estimator.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_estimator.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/soefair_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_extension.cc" "tests/CMakeFiles/soefair_tests.dir/test_extension.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_extension.cc.o.d"
+  "/root/repo/tests/test_fetch.cc" "tests/CMakeFiles/soefair_tests.dir/test_fetch.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_fetch.cc.o.d"
+  "/root/repo/tests/test_fu_pool.cc" "tests/CMakeFiles/soefair_tests.dir/test_fu_pool.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_fu_pool.cc.o.d"
+  "/root/repo/tests/test_generator.cc" "tests/CMakeFiles/soefair_tests.dir/test_generator.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_generator.cc.o.d"
+  "/root/repo/tests/test_hierarchy.cc" "tests/CMakeFiles/soefair_tests.dir/test_hierarchy.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_hierarchy.cc.o.d"
+  "/root/repo/tests/test_inst_stream.cc" "tests/CMakeFiles/soefair_tests.dir/test_inst_stream.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_inst_stream.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/soefair_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_lsq.cc" "tests/CMakeFiles/soefair_tests.dir/test_lsq.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_lsq.cc.o.d"
+  "/root/repo/tests/test_metrics.cc" "tests/CMakeFiles/soefair_tests.dir/test_metrics.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_metrics.cc.o.d"
+  "/root/repo/tests/test_micro_op.cc" "tests/CMakeFiles/soefair_tests.dir/test_micro_op.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_micro_op.cc.o.d"
+  "/root/repo/tests/test_multithread.cc" "tests/CMakeFiles/soefair_tests.dir/test_multithread.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_multithread.cc.o.d"
+  "/root/repo/tests/test_pause.cc" "tests/CMakeFiles/soefair_tests.dir/test_pause.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_pause.cc.o.d"
+  "/root/repo/tests/test_policies.cc" "tests/CMakeFiles/soefair_tests.dir/test_policies.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_policies.cc.o.d"
+  "/root/repo/tests/test_prefetcher.cc" "tests/CMakeFiles/soefair_tests.dir/test_prefetcher.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_prefetcher.cc.o.d"
+  "/root/repo/tests/test_profile.cc" "tests/CMakeFiles/soefair_tests.dir/test_profile.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_profile.cc.o.d"
+  "/root/repo/tests/test_program.cc" "tests/CMakeFiles/soefair_tests.dir/test_program.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_program.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/soefair_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_random.cc" "tests/CMakeFiles/soefair_tests.dir/test_random.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_random.cc.o.d"
+  "/root/repo/tests/test_retire_trace.cc" "tests/CMakeFiles/soefair_tests.dir/test_retire_trace.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_retire_trace.cc.o.d"
+  "/root/repo/tests/test_rob_rename.cc" "tests/CMakeFiles/soefair_tests.dir/test_rob_rename.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_rob_rename.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/soefair_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_store_buffer.cc" "tests/CMakeFiles/soefair_tests.dir/test_store_buffer.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_store_buffer.cc.o.d"
+  "/root/repo/tests/test_sweep_io.cc" "tests/CMakeFiles/soefair_tests.dir/test_sweep_io.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_sweep_io.cc.o.d"
+  "/root/repo/tests/test_system_runner.cc" "tests/CMakeFiles/soefair_tests.dir/test_system_runner.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_system_runner.cc.o.d"
+  "/root/repo/tests/test_tlb.cc" "tests/CMakeFiles/soefair_tests.dir/test_tlb.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_tlb.cc.o.d"
+  "/root/repo/tests/test_trace_file.cc" "tests/CMakeFiles/soefair_tests.dir/test_trace_file.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_trace_file.cc.o.d"
+  "/root/repo/tests/test_workload_stats.cc" "tests/CMakeFiles/soefair_tests.dir/test_workload_stats.cc.o" "gcc" "tests/CMakeFiles/soefair_tests.dir/test_workload_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/soefair.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

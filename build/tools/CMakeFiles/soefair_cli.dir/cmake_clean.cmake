@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soefair_cli.dir/soefair_cli.cc.o"
+  "CMakeFiles/soefair_cli.dir/soefair_cli.cc.o.d"
+  "soefair_cli"
+  "soefair_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soefair_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
