@@ -14,7 +14,10 @@
 #ifndef SOEFAIR_CORE_DEFICIT_HH
 #define SOEFAIR_CORE_DEFICIT_HH
 
+#include <cmath>
 #include <limits>
+
+#include "sim/invariant.hh"
 
 namespace soefair
 {
@@ -32,6 +35,8 @@ class DeficitCounter
     void
     setQuota(double ipsw)
     {
+        SOE_AUDIT(ipsw > 0.0 && !std::isnan(ipsw),
+                  "IPSw quota must be positive, got ", ipsw);
         quota = ipsw;
     }
 
@@ -54,6 +59,7 @@ class DeficitCounter
         // mirroring DRR's bounded deficit.
         if (credit > 2.0 * quota)
             credit = 2.0 * quota;
+        auditBounds();
     }
 
     /**
@@ -65,11 +71,36 @@ class DeficitCounter
     {
         if (!limited())
             return false;
+        auditBounds();
         credit -= 1.0;
         return credit <= 0.0;
     }
 
     double creditValue() const { return credit; }
+
+    /**
+     * Checkpoint/test hook: install a credit value directly,
+     * bypassing the switch-in bounding. auditBounds() validates it.
+     */
+    void restoreCredit(double c) { credit = c; }
+
+    /**
+     * Eq. 9 quota discipline: the banked credit never exceeds one
+     * fresh quota plus one quota of burst (the DRR bound), so no
+     * residency can retire more than IPSw_j + burst instructions.
+     * An unlimited credit is exempt: after a finite quota lands,
+     * the running residency legitimately stays unlimited until the
+     * next switch-in converts it.
+     */
+    void
+    auditBounds() const
+    {
+        if (!limited() || credit == unlimited)
+            return;
+        SOE_AUDIT(credit <= 2.0 * quota && !std::isnan(credit),
+                  "deficit credit ", credit,
+                  " above IPSw + burst bound ", 2.0 * quota);
+    }
 
     void
     reset()

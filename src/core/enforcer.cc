@@ -1,8 +1,10 @@
 #include "core/enforcer.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
+#include "sim/invariant.hh"
 #include "sim/logging.hh"
 
 namespace soefair
@@ -35,6 +37,12 @@ FairnessEnforcer::recompute(const std::vector<HwCounters> &window,
     // Refresh estimates; starved threads keep their previous one.
     for (std::size_t j = 0; j < window.size(); ++j) {
         WindowEstimate e = estimateWindow(window[j], lat);
+        // Eqs. 11-13 are ratios of hardware counters: negative or
+        // NaN estimates mean a counter ran backwards.
+        SOE_AUDIT(e.empty ||
+                  (e.ipm >= 0.0 && e.cpm >= 0.0 && e.ipcSt >= 0.0 &&
+                   !std::isnan(e.ipcSt)),
+                  "window estimate out of range for thread ", j);
         if (!e.empty)
             latest[j] = e;
     }
@@ -65,6 +73,9 @@ FairnessEnforcer::recompute(const std::vector<HwCounters> &window,
         // Eq. 9 with a floor of one instruction: a quota below 1
         // would starve the thread outright.
         quotas[j] = std::max(1.0, std::min(e.ipm, unclamped));
+        SOE_AUDIT(quotas[j] >= 1.0 && !std::isnan(quotas[j]),
+                  "Eq. 9 quota below the one-instruction floor for "
+                  "thread ", j);
     }
     return quotas;
 }

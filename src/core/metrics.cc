@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "sim/invariant.hh"
 #include "sim/logging.hh"
 
 namespace soefair
@@ -23,7 +24,13 @@ fairnessOfSpeedups(const std::vector<double> &speedups)
         mn = std::min(mn, s);
         mx = std::max(mx, s);
     }
-    return mx > 0.0 ? mn / mx : 0.0;
+    const double fairness = mx > 0.0 ? mn / mx : 0.0;
+    // Eq. 4's headline property: min/max speedup ratio is a number
+    // in [0, 1] (1 = perfectly fair, 0 = a thread fully starved).
+    SOE_AUDIT(fairness >= 0.0 && fairness <= 1.0 &&
+              !std::isnan(fairness),
+              "fairness metric ", fairness, " outside [0, 1]");
+    return fairness;
 }
 
 double
@@ -53,6 +60,9 @@ truncateAtTarget(double achieved, double target)
 {
     if (target <= 0.0)
         return achieved;
+    SOE_AUDIT(achieved >= 0.0 && target <= 1.0,
+              "truncation inputs out of range: achieved ", achieved,
+              ", target ", target);
     return std::min(achieved, target);
 }
 

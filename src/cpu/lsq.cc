@@ -21,8 +21,14 @@ StoreQueue::search(Addr addr, InstSeqNum load_seq, Tick now) const
 {
     const Addr word = wordAddr(addr);
     // Youngest matching older store wins.
+    InstSeqNum prevSeq = invalidSeqNum;
     for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
         const DynInst *st = *it;
+        // Forwarding correctness hinges on the age order of this
+        // scan: seqNums must strictly decrease youngest-to-oldest.
+        SOE_AUDIT(prevSeq == invalidSeqNum || st->op.seqNum < prevSeq,
+                  "SQ age order broken at seq ", st->op.seqNum);
+        prevSeq = st->op.seqNum;
         if (st->op.seqNum >= load_seq)
             continue;
         if (wordAddr(st->op.memAddr) != word)

@@ -15,6 +15,7 @@
 #include <deque>
 
 #include "cpu/dyn_inst.hh"
+#include "sim/invariant.hh"
 #include "sim/logging.hh"
 
 namespace soefair
@@ -32,7 +33,16 @@ class LoadQueue
     }
 
     bool full() const { return count >= cap; }
-    void add() { soefair_assert(!full(), "LQ overflow"); ++count; }
+
+    void
+    add()
+    {
+        soefair_assert(!full(), "LQ overflow");
+        ++count;
+        SOE_AUDIT(count <= cap, "LQ occupancy ", count,
+                  " above capacity ", cap);
+    }
+
     void remove() { soefair_assert(count > 0, "LQ underflow"); --count; }
     void squashAll() { count = 0; }
     unsigned occupancy() const { return count; }
@@ -59,7 +69,12 @@ class StoreQueue
     push(DynInst *store)
     {
         soefair_assert(!full(), "push to full SQ");
+        SOE_AUDIT(entries.empty() ||
+                  entries.back()->op.seqNum < store->op.seqNum,
+                  "SQ must stay in program order");
         entries.push_back(store);
+        SOE_AUDIT(entries.size() <= cap, "SQ occupancy ",
+                  entries.size(), " above capacity ", cap);
     }
 
     /** Retire the oldest store (must be the queue head). */

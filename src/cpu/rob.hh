@@ -14,6 +14,7 @@
 #include <deque>
 
 #include "cpu/dyn_inst.hh"
+#include "sim/invariant.hh"
 #include "sim/logging.hh"
 
 namespace soefair
@@ -44,6 +45,9 @@ class Rob
                        "ROB must stay in program order");
         entries.push_back(std::move(inst));
         entries.back().inRob = true;
+        SOE_AUDIT(entries.size() <= cap,
+                  "ROB occupancy ", entries.size(),
+                  " above capacity ", cap);
         return entries.back();
     }
 
@@ -58,6 +62,12 @@ class Rob
     popHead()
     {
         soefair_assert(!empty(), "pop of empty ROB");
+        // Retirement is the cycle-accurate bookkeeping the fairness
+        // counters hang off: the head must be the oldest in-flight
+        // instruction (seqNums are dense in program order).
+        SOE_AUDIT(entries.size() < 2 ||
+                  entries[0].op.seqNum + 1 == entries[1].op.seqNum,
+                  "ROB head out of program order");
         entries.front().inRob = false;
         entries.pop_front();
     }

@@ -14,7 +14,8 @@ StoreBuffer::StoreBuffer(unsigned capacity, mem::Hierarchy &hierarchy,
       drains(&statsGroup, "drains", "stores written to the cache"),
       retries(&statsGroup, "retries", "drain attempts rejected"),
       cap(capacity),
-      hier(hierarchy)
+      hier(hierarchy),
+      auditReg("storeBuffer", [this]() { auditStructure(); })
 {
     soefair_assert(cap > 0, "store buffer capacity must be positive");
 }
@@ -26,6 +27,8 @@ StoreBuffer::push(ThreadID tid, Addr addr, Tick now)
     (void)now;
     ++pushes;
     entries.push_back(Entry{tid, addr, false, 0});
+    SOE_AUDIT(entries.size() <= cap, "store buffer occupancy ",
+              entries.size(), " above capacity ", cap);
 }
 
 void
@@ -51,6 +54,21 @@ StoreBuffer::tick(Tick now)
             e.completion = res.completion;
         }
         break;
+    }
+}
+
+void
+StoreBuffer::auditStructure() const
+{
+    SOE_AUDIT(entries.size() <= cap, "store buffer occupancy ",
+              entries.size(), " above capacity ", cap);
+    // In-order drain: once an unissued entry is seen, everything
+    // younger must be unissued too (issued entries form a prefix).
+    bool seenUnissued = false;
+    for (const auto &e : entries) {
+        SOE_AUDIT(!(seenUnissued && e.issued),
+                  "issued store behind an unissued one");
+        seenUnissued = seenUnissued || !e.issued;
     }
 }
 

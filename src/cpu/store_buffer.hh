@@ -16,6 +16,7 @@
 #include <deque>
 
 #include "mem/hierarchy.hh"
+#include "sim/invariant.hh"
 #include "sim/types.hh"
 #include "stats/stats.hh"
 
@@ -50,6 +51,13 @@ class StoreBuffer
 
     Match probe(Addr addr, ThreadID tid) const;
 
+    /**
+     * Structural sweep (registered with the global InvariantAuditor):
+     * occupancy within capacity and the issued entries forming a
+     * contiguous prefix (stores drain strictly in order).
+     */
+    void auditStructure() const;
+
     statistics::Group statsGroup;
     statistics::Counter pushes;
     statistics::Counter drains;
@@ -67,6 +75,7 @@ class StoreBuffer
     unsigned cap;
     mem::Hierarchy &hier;
     std::deque<Entry> entries;
+    sim::AuditRegistration auditReg;
 };
 
 } // namespace cpu

@@ -27,7 +27,8 @@ Cache::Cache(const CacheConfig &config, MemLevel &next_level,
                    "demand hits on prefetched lines"),
       cfg(config),
       next(next_level),
-      events(event_queue)
+      events(event_queue),
+      auditReg(config.name, [this]() { checkInvariants(); })
 {
     soefair_assert(cfg.assoc > 0, "cache assoc must be positive");
     soefair_assert(cfg.sizeBytes % (lineBytes * cfg.assoc) == 0,
@@ -159,12 +160,23 @@ Cache::access(const MemReq &req)
     }
 
     ++misses;
+    // One MSHR per line: a duplicate would split the merge group and
+    // double-count the miss (breaking the paper's one-switch-per-
+    // clustered-miss behaviour).
+    SOE_AUDIT(findMshr(line) == nullptr,
+              "duplicate MSHR for line in ", cfg.name);
     m->valid = true;
     m->line = line;
     m->completion = down.completion;
     m->memoryMiss = down.memoryMiss;
     m->fillDirty = req.isWrite;
     m->fillPrefetched = req.prefetch;
+    SOE_AUDIT(mshrsInUse() <= mshrs.size(),
+              "MSHR occupancy above capacity in ", cfg.name);
+    // Fills cannot arrive before the request was even made: the
+    // miss-latency numbers feeding Eqs. 9/13 depend on this.
+    SOE_AUDIT(down.completion >= req.when,
+              "miss completion travels back in time in ", cfg.name);
     scheduleFill(*m);
 
     AccessResult r;
@@ -264,10 +276,21 @@ Cache::checkInvariants() const
                 continue;
             soefair_assert(setIndex(set[i].tag) == s,
                            "line in wrong set: ", cfg.name);
+            soefair_assert(set[i].lruStamp <= lruCounter,
+                           "LRU stamp from the future: ", cfg.name);
             for (unsigned j = i + 1; j < cfg.assoc; ++j) {
                 soefair_assert(!set[j].valid || set[j].tag != set[i].tag,
                                "duplicate tag in set: ", cfg.name);
             }
+        }
+    }
+    for (std::size_t i = 0; i < mshrs.size(); ++i) {
+        if (!mshrs[i].valid)
+            continue;
+        for (std::size_t j = i + 1; j < mshrs.size(); ++j) {
+            soefair_assert(!mshrs[j].valid ||
+                           mshrs[j].line != mshrs[i].line,
+                           "duplicate MSHR line: ", cfg.name);
         }
     }
 }

@@ -22,6 +22,7 @@
 
 #include "mem/request.hh"
 #include "sim/event_queue.hh"
+#include "sim/invariant.hh"
 #include "stats/stats.hh"
 
 namespace soefair
@@ -113,6 +114,7 @@ class Cache : public MemLevel
     CacheConfig cfg;
     MemLevel &next;
     EventQueue &events;
+    sim::AuditRegistration auditReg;
 
     std::size_t numSets;
     std::vector<Line> lines; // numSets * assoc, set-major

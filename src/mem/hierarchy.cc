@@ -1,5 +1,7 @@
 #include "mem/hierarchy.hh"
 
+#include "sim/invariant.hh"
+
 namespace soefair
 {
 namespace mem
@@ -46,6 +48,11 @@ Hierarchy::dataAccess(ThreadID tid, Addr addr, Tick when, bool is_write)
         out.retry = true;
         return out;
     }
+    // End-to-end timing sanity: TLB walk plus cache path can only
+    // move time forward, and an L2 miss costs at least the memory
+    // latency (the quantity Eq. 13 estimates per miss).
+    SOE_AUDIT(tr.completion >= when && ar.completion >= tr.completion,
+              "data access completion not monotonic");
     out.completion = ar.completion;
     out.l1Miss = !ar.hit;
     out.l2Miss = out.l2Miss || ar.memoryMiss;
@@ -86,6 +93,8 @@ Hierarchy::fetch(ThreadID tid, Addr addr, Tick when)
         out.retry = true;
         return out;
     }
+    SOE_AUDIT(tr.completion >= when && ar.completion >= tr.completion,
+              "fetch completion not monotonic");
     out.completion = ar.completion;
     out.l1Miss = !ar.hit;
     out.l2Miss = out.l2Miss || ar.memoryMiss;

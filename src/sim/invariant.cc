@@ -1,0 +1,74 @@
+#include "sim/invariant.hh"
+
+#include <algorithm>
+
+namespace soefair
+{
+namespace sim
+{
+
+namespace
+{
+
+std::uint64_t violationCount = 0;
+
+} // namespace
+
+std::uint64_t
+auditViolations()
+{
+    return violationCount;
+}
+
+void
+auditFail(const char *cond, const char *file, int line,
+          const std::string &msg)
+{
+    ++violationCount;
+    const std::string full = logging::formatMessage(
+        "audit '", cond, "' failed at ", file, ":", line,
+        msg.empty() ? "" : ": ", msg);
+    logging::printMessage("audit: ", full);
+    throw AuditError(full);
+}
+
+InvariantAuditor &
+InvariantAuditor::global()
+{
+    static InvariantAuditor instance;
+    return instance;
+}
+
+std::uint64_t
+InvariantAuditor::registerCheck(std::string name, Check fn)
+{
+    soefair_assert(fn, "audit check must be callable: ", name);
+    const std::uint64_t id = nextId++;
+    checks.push_back(Entry{id, std::move(name), std::move(fn)});
+    return id;
+}
+
+void
+InvariantAuditor::unregisterCheck(std::uint64_t id)
+{
+    checks.erase(std::remove_if(checks.begin(), checks.end(),
+                                [id](const Entry &e) {
+                                    return e.id == id;
+                                }),
+                 checks.end());
+}
+
+void
+InvariantAuditor::runAll()
+{
+    if (!auditsEnabled())
+        return;
+    ++sweeps;
+    // Index loop: a sweep must not mutate the registry, but a copy
+    // per call would put an allocation on the delta-window path.
+    for (std::size_t i = 0; i < checks.size(); ++i)
+        checks[i].fn();
+}
+
+} // namespace sim
+} // namespace soefair

@@ -1,5 +1,7 @@
 #include "soe/engine.hh"
 
+#include <cmath>
+
 #include "sim/logging.hh"
 
 namespace soefair
@@ -34,6 +36,20 @@ SoeEngine::SoeEngine(const SoeConfig &config, SchedulingPolicy &pol,
     lastEstimates.resize(num_threads);
     for (unsigned i = 0; i < num_threads; ++i)
         threads[i].tid = ThreadID(i);
+    auditReg = sim::AuditRegistration(
+        "soeEngine", [this]() { auditThreadStates(); });
+}
+
+void
+SoeEngine::auditThreadStates() const
+{
+    if (!sim::auditsEnabled())
+        return;
+    unsigned running = 0;
+    for (const auto &c : threads)
+        running += c.running ? 1 : 0;
+    SOE_AUDIT(running <= 1, "SOE mode allows at most one runnable "
+              "thread, found ", running);
 }
 
 ThreadContext &
@@ -130,6 +146,14 @@ SoeEngine::onPause(ThreadID tid, Tick now)
 bool
 SoeEngine::onCycle(ThreadID tid, Tick now)
 {
+    // The cycle counter every window measurement hangs off must
+    // never step backwards.
+    SOE_AUDIT(now >= prevCycleTick,
+              "cycle counter moved backwards: ", now, " after ",
+              prevCycleTick);
+    if (sim::auditsEnabled())
+        prevCycleTick = now;
+
     if (now >= nextSampleTick) {
         sample(now);
         nextSampleTick += cfg.delta;
@@ -187,12 +211,69 @@ SoeEngine::onSwitchOut(ThreadID tid, Tick now,
 void
 SoeEngine::onSwitchIn(ThreadID tid, Tick now)
 {
+    // The outgoing thread must already be switched out: SOE owns a
+    // single pipeline, so a still-runnable thread here means the
+    // drain logic lost track of somebody.
+    if (sim::auditsEnabled()) {
+        for (const auto &t : threads) {
+            SOE_AUDIT(!t.running, "thread ", t.tid,
+                      " still runnable at switch-in of ", tid);
+        }
+    }
     ThreadContext &c = ctx(tid);
     c.running = true;
     c.awaitingFirstRetire = true;
     c.switchInTick = now;
     c.instrsThisResidency = 0;
+    ++c.windowSwitchIns;
     c.deficit.switchIn();
+}
+
+void
+SoeEngine::auditWindow(Tick now) const
+{
+    if (!sim::auditsEnabled())
+        return;
+
+    SOE_AUDIT(now >= lastSampleTick,
+              "sample tick moved backwards: ", now, " after ",
+              lastSampleTick);
+
+    // Residencies are disjoint (one pipeline), so the per-thread run
+    // cycles of the window can sum to at most the elapsed span.
+    std::uint64_t cyclesSum = 0;
+    for (const auto &c : threads)
+        cyclesSum += c.window.cycles;
+    SOE_AUDIT(cyclesSum <= now - lastSampleTick,
+              "window run cycles ", cyclesSum,
+              " exceed the window span ", now - lastSampleTick);
+
+    // Starvation freedom (Section 4.1): with the max-cycles residency
+    // quota active and honoured, round-robin rotation puts every
+    // thread on the pipeline within each delta window unless it spent
+    // part of the window blocked on a miss. Direct-driven engines
+    // (unit tests) may ignore the quota; an over-resident thread
+    // reveals that, and the audit stands down.
+    if (cfg.maxCyclesQuota == 0)
+        return;
+    bool anyActivity = false;
+    for (const auto &c : threads) {
+        if (c.running && now > c.switchInTick &&
+            now - c.switchInTick > cfg.maxCyclesQuota)
+            return;
+        anyActivity = anyActivity || c.running ||
+            c.windowSwitchIns > 0;
+    }
+    // An engine nothing ran on this window (e.g. driven only for
+    // quota recalculation) starves nobody.
+    if (!anyActivity)
+        return;
+    for (const auto &c : threads) {
+        SOE_AUDIT(c.windowSwitchIns > 0 || c.running ||
+                  c.blockedUntil > lastSampleTick,
+                  "thread ", c.tid,
+                  " was never scheduled in a whole delta window");
+    }
 }
 
 void
@@ -206,6 +287,12 @@ SoeEngine::sample(Tick now)
         if (c.running)
             closeResidency(c, now);
     }
+
+    // End-of-window synchronization point: audit this engine's
+    // window invariants and run every registered structural sweep
+    // (caches, store buffer, ...). No-ops in optimized builds.
+    auditWindow(now);
+    sim::InvariantAuditor::global().runAll();
 
     std::vector<core::HwCounters> window(threads.size());
     for (std::size_t j = 0; j < threads.size(); ++j)
@@ -221,6 +308,12 @@ SoeEngine::sample(Tick now)
         policy.recompute(window, lastMeasuredMissLat);
     soefair_assert(quotas.size() == threads.size(),
                    "policy returned wrong quota count");
+    if (sim::auditsEnabled()) {
+        for (double q : quotas) {
+            SOE_AUDIT(q > 0.0 && !std::isnan(q),
+                      "policy produced a non-positive IPSw quota ", q);
+        }
+    }
 
     // Refresh the engine's own estimates (used for reporting even
     // when the policy ignores them).
@@ -255,6 +348,7 @@ SoeEngine::sample(Tick now)
         threads[j].quota = quotas[j];
         threads[j].deficit.setQuota(quotas[j]);
         threads[j].window.reset();
+        threads[j].windowSwitchIns = 0;
     }
     lastSampleTick = now;
 }
@@ -266,6 +360,8 @@ SoeEngine::finalize(Tick now)
         if (c.running)
             closeResidency(c, now);
     }
+    // End-of-run sweep over every registered structural audit.
+    sim::InvariantAuditor::global().runAll();
 }
 
 } // namespace soe

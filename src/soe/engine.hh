@@ -24,6 +24,7 @@
 
 #include "core/estimator.hh"
 #include "cpu/core.hh"
+#include "sim/invariant.hh"
 #include "soe/policies.hh"
 #include "soe/thread_context.hh"
 #include "stats/stats.hh"
@@ -128,11 +129,18 @@ class SoeEngine : public cpu::SwitchController
     /** Cycles per residency. */
     statistics::Histogram residencyCycles;
 
+    /**
+     * Audit sweep (also registered with the global InvariantAuditor):
+     * SOE mode never has more than one runnable thread.
+     */
+    void auditThreadStates() const;
+
   private:
     ThreadContext &ctx(ThreadID tid);
     ThreadID nextReady(ThreadID tid, Tick now) const;
     void closeResidency(ThreadContext &c, Tick now);
     void sample(Tick now);
+    void auditWindow(Tick now) const;
 
     SoeConfig cfg;
     SchedulingPolicy &policy;
@@ -147,7 +155,10 @@ class SoeEngine : public cpu::SwitchController
     std::vector<core::WindowEstimate> lastEstimates;
     Tick nextSampleTick;
     Tick lastSampleTick = 0;
+    /** Most recent onCycle tick (cycle-counter monotonicity audit). */
+    Tick prevCycleTick = 0;
     SampleHook sampleHook;
+    sim::AuditRegistration auditReg;
 };
 
 } // namespace soe

@@ -47,6 +47,9 @@ struct ThreadContext
     /** Instructions retired in the current residency. */
     std::uint64_t instrsThisResidency = 0;
 
+    /** Switch-ins during the current delta window (audit hook). */
+    std::uint64_t windowSwitchIns = 0;
+
     /** Deduplication tag for head-miss counting. */
     InstSeqNum lastMissSeq = 0;
     /**

@@ -118,8 +118,12 @@ struct Profile
 {
     std::string name = "generic";
     CodeShape code;
-    /** Executed cyclically; at least one phase required. */
-    std::vector<Phase> phases{Phase{}};
+    /**
+     * Executed cyclically; at least one phase required. (Sized
+     * construction rather than an initializer list: the list's
+     * element copy trips GCC 12's -Wmaybe-uninitialized.)
+     */
+    std::vector<Phase> phases = std::vector<Phase>(1);
 
     const Phase &phase(std::size_t i) const { return phases.at(i); }
     std::size_t numPhases() const { return phases.size(); }

@@ -127,7 +127,6 @@ TEST(Extension, ResidencyHistogramsTrackQuota)
     cfg.delta = 10000;
     cfg.maxCyclesQuota = 5000;
     soe::SoeEngine eng(cfg, pol, 2, &root);
-    eng.onSwitchIn(0, 0);
     eng.onCycle(0, 10000); // install the quota
 
     // Drive retirements; every forced switch ends a residency.
