@@ -1,8 +1,10 @@
 #include "core/analytic.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
+#include "sim/errors.hh"
 #include "sim/logging.hh"
 
 namespace soefair
@@ -10,17 +12,49 @@ namespace soefair
 namespace core
 {
 
+ThreadModel
+ThreadModel::fromIpcNoMiss(double ipc_no_miss, double ipm_)
+{
+    if (!(ipc_no_miss > 0.0) || !std::isfinite(ipc_no_miss)) {
+        raiseError<InputError>("thread model needs a positive finite "
+                               "IPC_no_miss, got ", ipc_no_miss);
+    }
+    if (!(ipm_ > 0.0)) {
+        raiseError<InputError>("thread model needs a positive IPM, "
+                               "got ", ipm_);
+    }
+    // Zero-miss thread: IPM -> infinity. Clamp onto the sentinel,
+    // keeping IPM/CPM = IPC_no_miss exact.
+    if (!std::isfinite(ipm_) || ipm_ > noMissIpm)
+        ipm_ = noMissIpm;
+    return {ipm_, ipm_ / ipc_no_miss};
+}
+
 AnalyticSoe::AnalyticSoe(std::vector<ThreadModel> threads,
                          MachineModel machine)
     : thr(std::move(threads)), mach(machine)
 {
-    soefair_assert(thr.size() >= 1, "model needs at least one thread");
-    for (const auto &t : thr) {
-        soefair_assert(t.ipm > 0.0, "thread IPM must be positive");
-        soefair_assert(t.cpm > 0.0, "thread CPM must be positive");
+    if (thr.size() < 1)
+        raiseError<InputError>("model needs at least one thread");
+    for (std::size_t j = 0; j < thr.size(); ++j) {
+        const ThreadModel &t = thr[j];
+        if (!(t.ipm > 0.0) || !std::isfinite(t.ipm)) {
+            raiseError<InputError>(
+                "thread ", j, " IPM must be positive and finite, "
+                "got ", t.ipm, " (zero-miss threads go through "
+                "ThreadModel::fromIpcNoMiss, which clamps)");
+        }
+        if (!(t.cpm > 0.0) || !std::isfinite(t.cpm)) {
+            raiseError<InputError>("thread ", j, " CPM must be "
+                                   "positive and finite, got ", t.cpm);
+        }
     }
-    soefair_assert(mach.missLat >= 0.0 && mach.switchLat >= 0.0,
-                   "negative machine latency");
+    if (!(mach.missLat >= 0.0) || !std::isfinite(mach.missLat) ||
+        !(mach.switchLat >= 0.0) || !std::isfinite(mach.switchLat)) {
+        raiseError<InputError>("machine latencies must be finite and "
+                               ">= 0 (Miss_lat ", mach.missLat,
+                               ", Switch_lat ", mach.switchLat, ")");
+    }
 }
 
 double
@@ -90,8 +124,8 @@ AnalyticSoe::fairness(const std::vector<double> &quotas) const
 std::vector<double>
 AnalyticSoe::quotasForFairness(double f) const
 {
-    soefair_assert(f >= 0.0 && f <= 1.0,
-                   "target fairness out of [0,1]: ", f);
+    if (!(f >= 0.0 && f <= 1.0))
+        raiseError<InputError>("target fairness out of [0,1]: ", f);
     if (f == 0.0)
         return missOnlyQuotas();
 

@@ -32,12 +32,22 @@ struct ThreadModel
     /** Average cycles between misses (excluding miss stalls). */
     double cpm = 0.0;
 
-    /** Convenience: build from IPC excluding misses. */
-    static ThreadModel
-    fromIpcNoMiss(double ipc_no_miss, double ipm_)
-    {
-        return {ipm_, ipm_ / ipc_no_miss};
-    }
+    /**
+     * A thread with zero observed misses has IPM -> infinity. The
+     * model's equations are all ratios of IPM and CPM, so instead of
+     * letting infinity poison them with NaN we clamp to a finite
+     * sentinel large enough that Eq. 1 converges to the paper's
+     * single-thread limit IPC_no_miss (misses contribute nothing).
+     */
+    static constexpr double noMissIpm = 1e15;
+
+    /**
+     * Convenience: build from IPC excluding misses. An infinite or
+     * enormous ipm_ (a zero-miss thread) is mapped onto the noMissIpm
+     * sentinel with the IPM/CPM ratio preserved, so ipcNoMiss() and
+     * every equation stay finite.
+     */
+    static ThreadModel fromIpcNoMiss(double ipc_no_miss, double ipm_);
 
     double ipcNoMiss() const { return ipm / cpm; }
 };

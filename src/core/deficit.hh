@@ -31,13 +31,20 @@ class DeficitCounter
     static constexpr double unlimited =
         std::numeric_limits<double>::infinity();
 
-    /** Set the per-switch-in quota (recomputed every delta). */
+    /**
+     * Set the per-switch-in quota (recomputed every delta). A
+     * tighter quota re-bounds any banked credit, so the DRR bound
+     * (credit <= IPSw + burst) holds across recalculation — quotas
+     * can shrink sharply when guardrail relaxation ends.
+     */
     void
     setQuota(double ipsw)
     {
         SOE_AUDIT(ipsw > 0.0 && !std::isnan(ipsw),
                   "IPSw quota must be positive, got ", ipsw);
         quota = ipsw;
+        if (limited() && credit != unlimited && credit > 2.0 * quota)
+            credit = 2.0 * quota;
     }
 
     double quotaValue() const { return quota; }

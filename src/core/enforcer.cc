@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "sim/errors.hh"
 #include "sim/invariant.hh"
 #include "sim/logging.hh"
 
@@ -14,41 +15,99 @@ namespace core
 
 FairnessEnforcer::FairnessEnforcer(double target_fairness,
                                    double miss_lat,
-                                   unsigned num_threads)
+                                   unsigned num_threads,
+                                   const GuardrailConfig &guard_cfg)
     : target(target_fairness), missLat(miss_lat)
 {
-    soefair_assert(target >= 0.0 && target <= 1.0,
-                   "target fairness out of [0,1]: ", target);
-    soefair_assert(missLat >= 0.0, "negative miss latency");
-    soefair_assert(num_threads >= 1, "need at least one thread");
+    if (!(target >= 0.0 && target <= 1.0)) {
+        raiseError<InputError>("target fairness out of [0,1]: ",
+                               target);
+    }
+    if (!(missLat >= 0.0) || !std::isfinite(missLat))
+        raiseError<InputError>("bad miss latency: ", missLat);
+    if (num_threads < 1)
+        raiseError<InputError>("need at least one thread");
+    if (guard_cfg.decay <= 0.0 || guard_cfg.decay > 1.0) {
+        raiseError<InputError>("guardrail decay must be in (0,1]: ",
+                               guard_cfg.decay);
+    }
+    if (guard_cfg.zBand <= 0.0)
+        raiseError<InputError>("guardrail z-band must be positive");
     latest.resize(num_threads);
+    guards.assign(num_threads, EstimatorGuard(guard_cfg));
 }
 
 std::vector<double>
 FairnessEnforcer::recompute(const std::vector<HwCounters> &window,
                             double measured_miss_lat)
 {
-    soefair_assert(window.size() == latest.size(),
-                   "counter vector size mismatch");
+    if (window.size() != latest.size()) {
+        raiseError<EstimatorError>(
+            "counter vector size mismatch: got ", window.size(),
+            " samples for ", latest.size(), " threads");
+    }
+    if (std::isnan(measured_miss_lat) ||
+        (measured_miss_lat > 0.0 &&
+         !std::isfinite(measured_miss_lat))) {
+        raiseError<EstimatorError>("measured miss latency is not "
+                                   "finite: ", measured_miss_lat);
+    }
 
     const double lat =
         measured_miss_lat > 0.0 ? measured_miss_lat : missLat;
 
-    // Refresh estimates; starved threads keep their previous one.
+    // Screen the window; trusted estimates refresh, denied ones
+    // carry the previous estimate forward (guard tracks staleness).
+    bool anyBeyondN = false;
+    const unsigned badN = guards[0].config().maxBadWindows;
     for (std::size_t j = 0; j < window.size(); ++j) {
-        WindowEstimate e = estimateWindow(window[j], lat);
+        ScreenedEstimate s = guards[j].screen(window[j], lat);
+        switch (s.verdict) {
+          case WindowVerdict::Good:
+            ++gstats.goodWindows;
+            break;
+          case WindowVerdict::Empty:
+            ++gstats.emptyWindows;
+            break;
+          case WindowVerdict::Degenerate:
+            ++gstats.degenerateWindows;
+            break;
+          case WindowVerdict::Outlier:
+            ++gstats.outlierWindows;
+            break;
+        }
         // Eqs. 11-13 are ratios of hardware counters: negative or
         // NaN estimates mean a counter ran backwards.
-        SOE_AUDIT(e.empty ||
-                  (e.ipm >= 0.0 && e.cpm >= 0.0 && e.ipcSt >= 0.0 &&
-                   !std::isnan(e.ipcSt)),
+        SOE_AUDIT(s.estimate.empty ||
+                  (s.estimate.ipm >= 0.0 && s.estimate.cpm >= 0.0 &&
+                   s.estimate.ipcSt >= 0.0 &&
+                   !std::isnan(s.estimate.ipcSt)),
                   "window estimate out of range for thread ", j);
-        if (!e.empty)
-            latest[j] = e;
+        if (!s.estimate.empty)
+            latest[j] = s.estimate;
+        if (badN != 0 && guards[j].badStreak() >= badN)
+            anyBeyondN = true;
     }
 
     std::vector<double> quotas(latest.size(),
                                DeficitCounter::unlimited);
+
+    // Degradation ladder, last rung: too many consecutive bad
+    // windows means the estimates cannot be trusted at all — fall
+    // back to plain SOE (miss-only switching) until data returns.
+    if (anyBeyondN) {
+        if (!isDegraded) {
+            isDegraded = true;
+            ++gstats.degradations;
+        }
+        ++gstats.degradedWindows;
+        return quotas;
+    }
+    if (isDegraded) {
+        isDegraded = false;
+        ++gstats.recoveries;
+    }
+
     if (target <= 0.0)
         return quotas; // F = 0: switch on misses only
 
@@ -68,10 +127,13 @@ FairnessEnforcer::recompute(const std::vector<HwCounters> &window,
         const WindowEstimate &e = latest[j];
         if (e.empty)
             continue; // cannot quota a thread we know nothing about
-        const double unclamped =
-            e.ipcSt / target * (cpmMin + lat);
-        // Eq. 9 with a floor of one instruction: a quota below 1
-        // would starve the thread outright.
+        // Eq. 9, scaled by the guard's staleness relaxation: a
+        // thread running on carried-forward estimates has its quota
+        // widened toward the IPM clamp (plain SOE) every bad window.
+        const double unclamped = e.ipcSt * guards[j].relaxation() /
+            target * (cpmMin + lat);
+        // Floor of one instruction: a quota below 1 would starve
+        // the thread outright.
         quotas[j] = std::max(1.0, std::min(e.ipm, unclamped));
         SOE_AUDIT(quotas[j] >= 1.0 && !std::isnan(quotas[j]),
                   "Eq. 9 quota below the one-instruction floor for "
@@ -85,6 +147,13 @@ FairnessEnforcer::estimate(unsigned tid) const
 {
     soefair_assert(tid < latest.size(), "estimate() bad tid");
     return latest[tid];
+}
+
+const EstimatorGuard &
+FairnessEnforcer::guard(unsigned tid) const
+{
+    soefair_assert(tid < guards.size(), "guard() bad tid");
+    return guards[tid];
 }
 
 } // namespace core

@@ -12,11 +12,21 @@
  *
  * F = 0 disables enforcement (quotas unlimited). The quotas feed
  * the per-thread deficit counters in the SOE engine.
+ *
+ * Guardrails (GuardrailConfig / EstimatorGuard): every window is
+ * screened before it is trusted. Denied windows carry the last good
+ * estimate forward with an exponentially growing relaxation of the
+ * quota (the stale thread drifts toward plain SOE), and after N
+ * consecutive bad windows on any thread the whole enforcer degrades
+ * to plain SOE until a good window is seen again. Degradations are
+ * counted in GuardStats so a run that survived on the fallback
+ * cannot masquerade as a clean one.
  */
 
 #ifndef SOEFAIR_CORE_ENFORCER_HH
 #define SOEFAIR_CORE_ENFORCER_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "core/deficit.hh"
@@ -27,6 +37,21 @@ namespace soefair
 namespace core
 {
 
+/** Counters of the guardrail / graceful-degradation machinery. */
+struct GuardStats
+{
+    std::uint64_t goodWindows = 0;
+    std::uint64_t emptyWindows = 0;
+    std::uint64_t degenerateWindows = 0;
+    std::uint64_t outlierWindows = 0;
+    /** Recalculations answered with plain-SOE fallback quotas. */
+    std::uint64_t degradedWindows = 0;
+    /** Enforced -> degraded transitions. */
+    std::uint64_t degradations = 0;
+    /** Degraded -> enforced transitions. */
+    std::uint64_t recoveries = 0;
+};
+
 class FairnessEnforcer
 {
   public:
@@ -35,15 +60,24 @@ class FairnessEnforcer
      * @param miss_lat The (predefined) average miss latency used in
      *        Eqs. 9/13; the paper uses 300 cycles.
      * @param num_threads Number of hardware threads.
+     * @param guard Guardrail tuning; the default screens and
+     *        degrades, GuardrailConfig{.enabled = false} restores
+     *        strict (throwing) behaviour.
+     *
+     * Throws InputError on out-of-range parameters.
      */
     FairnessEnforcer(double target_fairness, double miss_lat,
-                     unsigned num_threads);
+                     unsigned num_threads,
+                     const GuardrailConfig &guard = {});
 
     /**
      * End-of-window recalculation: consume the window's counters
      * and return the quota (IPSw_j) per thread;
      * DeficitCounter::unlimited means no forced switches for that
      * thread.
+     *
+     * Throws EstimatorError if the counter vector is malformed (and,
+     * in strict guard mode, if a sample is impossible).
      *
      * @param measured_miss_lat If positive, use this measured
      *        average event latency in Eqs. 9/13 instead of the
@@ -57,6 +91,14 @@ class FairnessEnforcer
     /** Latest estimate per thread (carried through empty windows). */
     const WindowEstimate &estimate(unsigned tid) const;
 
+    /** Per-thread guardrail state (streaks, running statistics). */
+    const EstimatorGuard &guard(unsigned tid) const;
+
+    /** True while the enforcer is degraded to plain SOE. */
+    bool degraded() const { return isDegraded; }
+
+    const GuardStats &guardStats() const { return gstats; }
+
     double targetFairness() const { return target; }
     double missLatency() const { return missLat; }
     unsigned numThreads() const { return unsigned(latest.size()); }
@@ -65,6 +107,9 @@ class FairnessEnforcer
     double target;
     double missLat;
     std::vector<WindowEstimate> latest;
+    std::vector<EstimatorGuard> guards;
+    GuardStats gstats;
+    bool isDegraded = false;
 };
 
 } // namespace core

@@ -1,9 +1,43 @@
 #include "harness/machine_config.hh"
 
+#include <cmath>
+
+#include "sim/errors.hh"
+
 namespace soefair
 {
 namespace harness
 {
+
+namespace
+{
+
+void
+validateCache(const mem::CacheConfig &c)
+{
+    if (c.sizeBytes < 64 || c.assoc < 1) {
+        raiseError<InputError>("cache '", c.name, "' impossible: ",
+                               c.sizeBytes, " bytes, ", c.assoc,
+                               "-way");
+    }
+    if (c.hitLatency < 1 || c.numMshrs < 1) {
+        raiseError<InputError>("cache '", c.name,
+                               "' needs hitLatency >= 1 and >= 1 "
+                               "MSHR (got ", c.hitLatency, ", ",
+                               c.numMshrs, ")");
+    }
+}
+
+void
+validateTlb(const mem::TlbConfig &t)
+{
+    if (t.entries < 1) {
+        raiseError<InputError>("TLB '", t.name,
+                               "' must have >= 1 entry");
+    }
+}
+
+} // namespace
 
 MachineConfig
 MachineConfig::paperDefault()
@@ -93,6 +127,66 @@ MachineConfig::print(std::ostream &os) const
        << " cycles max residency per thread\n"
        << "Miss_lat      : " << soe.missLatency
        << " cycles (model parameter)\n";
+}
+
+void
+MachineConfig::validate() const
+{
+    if (core.dispatchWidth < 1 || core.issueWidth < 1 ||
+        core.retireWidth < 1 || core.fetch.width < 1) {
+        raiseError<InputError>(
+            "pipeline widths must all be >= 1 (dispatch ",
+            core.dispatchWidth, ", issue ", core.issueWidth,
+            ", retire ", core.retireWidth, ", fetch ",
+            core.fetch.width, ")");
+    }
+    if (core.robEntries < core.retireWidth) {
+        raiseError<InputError>("ROB (", core.robEntries,
+                               " entries) narrower than retire "
+                               "width ", core.retireWidth);
+    }
+    if (core.iqEntries < 1 || core.lqEntries < 1 ||
+        core.sqEntries < 1 || core.sbEntries < 1) {
+        raiseError<InputError>("IQ/LQ/SQ/SB must all have >= 1 "
+                               "entry");
+    }
+    if (core.fetch.bufferEntries < core.fetch.width) {
+        raiseError<InputError>("fetch buffer (",
+                               core.fetch.bufferEntries,
+                               ") smaller than fetch width ",
+                               core.fetch.width);
+    }
+    if (core.fus.intAlu < 1 || core.fus.memPorts < 1) {
+        raiseError<InputError>("need >= 1 integer ALU and >= 1 "
+                               "memory port");
+    }
+
+    validateCache(mem.l1i);
+    validateCache(mem.l1d);
+    validateCache(mem.l2);
+    validateTlb(mem.itlb);
+    validateTlb(mem.dtlb);
+    if (mem.busOccupancy < 1 || mem.memLatency < 1) {
+        raiseError<InputError>("bus occupancy and memory latency "
+                               "must be >= 1 (got ",
+                               mem.busOccupancy, ", ",
+                               mem.memLatency, ")");
+    }
+
+    if (soe.delta < 1) {
+        raiseError<InputError>("SOE sampling period delta must be "
+                               ">= 1 cycle");
+    }
+    if (soe.maxCyclesQuota != 0 && soe.maxCyclesQuota > soe.delta) {
+        raiseError<InputError>(
+            "max-cycles quota (", soe.maxCyclesQuota,
+            ") exceeds the sampling period delta (", soe.delta,
+            "): threads could not all run within one window");
+    }
+    if (!std::isfinite(soe.missLatency) || soe.missLatency < 0.0) {
+        raiseError<InputError>("SOE miss latency must be finite and "
+                               ">= 0 (got ", soe.missLatency, ")");
+    }
 }
 
 } // namespace harness

@@ -41,6 +41,16 @@ struct MachineConfig
 
     /** Human-readable dump (bench/table3_machine_config). */
     void print(std::ostream &os) const;
+
+    /**
+     * Range-check every parameter; raises InputError on the first
+     * impossible value (zero widths, ROB narrower than retire, empty
+     * caches, non-finite latencies, quota longer than the sampling
+     * period...). Runner calls this before building a system, so a
+     * garbage config fails loudly instead of dividing by zero or
+     * hanging three layers down.
+     */
+    void validate() const;
 };
 
 } // namespace harness

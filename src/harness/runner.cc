@@ -129,7 +129,9 @@ Runner::runSingleThread(const ThreadSpec &spec, const RunConfig &rc,
     // is recovered by subtracting Miss_lat per miss.
     const double perMissCycles = double(res.cycles) /
         double(std::max<std::uint64_t>(res.misses, 1));
-    res.cpm = std::max(0.0, perMissCycles - mc.soe.missLatency);
+    // Floored at one cycle: AnalyticSoe needs CPM > 0, and a thread
+    // cannot retire between misses in less than a cycle.
+    res.cpm = std::max(1.0, perMissCycles - mc.soe.missLatency);
     if (rc.statsDump)
         sys.dumpStats(*rc.statsDump);
     return res;

@@ -96,7 +96,10 @@ struct SoeRunResult
 class Runner
 {
   public:
-    explicit Runner(const MachineConfig &machine) : mc(machine) {}
+    explicit Runner(const MachineConfig &machine) : mc(machine)
+    {
+        mc.validate();
+    }
 
     /**
      * Run one thread alone on the machine.

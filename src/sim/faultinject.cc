@@ -1,0 +1,466 @@
+#include "sim/faultinject.hh"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/enforcer.hh"
+#include "core/estimator.hh"
+#include "harness/machine_config.hh"
+#include "harness/runner.hh"
+#include "isa/micro_op.hh"
+#include "sim/errors.hh"
+#include "sim/random.hh"
+#include "soe/engine.hh"
+#include "soe/policies.hh"
+#include "stats/stats.hh"
+#include "workload/checkpoint.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+#include "workload/trace_file.hh"
+
+namespace soefair
+{
+namespace sim
+{
+
+namespace
+{
+
+// ---- file plumbing ------------------------------------------------
+
+std::vector<unsigned char>
+readFileBytes(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw std::runtime_error("fault harness cannot read " + path);
+    return std::vector<unsigned char>(
+        (std::istreambuf_iterator<char>(is)),
+        std::istreambuf_iterator<char>());
+}
+
+void
+writeFileBytes(const std::string &path,
+               const std::vector<unsigned char> &bytes)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(reinterpret_cast<const char *>(bytes.data()),
+             std::streamsize(bytes.size()));
+    if (!os)
+        throw std::runtime_error("fault harness cannot write " + path);
+}
+
+/** Trace container geometry (mirrors workload/trace_file.cc). */
+constexpr std::size_t traceHeaderBytes = 24;
+constexpr std::size_t traceRecordBytes = 33;
+
+/** Write a well-formed trace of `n` records; returns its path. */
+std::string
+writeValidTrace(const std::string &dir, std::uint64_t n)
+{
+    const std::string path = dir + "/fault.soetrace";
+    workload::TraceWriter w(path, 0);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        isa::MicroOp op;
+        op.pc = 0x400000 + 4 * i;
+        op.op = (i % 3 == 0) ? isa::OpClass::Load
+                             : isa::OpClass::IntAlu;
+        if (op.op == isa::OpClass::Load) {
+            op.memAddr = 0x10000 + 64 * i;
+            op.memSize = 8;
+        }
+        op.dest = isa::RegId(i % 16);
+        op.src0 = isa::RegId((i + 1) % 16);
+        w.append(op);
+    }
+    w.close();
+    return path;
+}
+
+// ---- scenarios ----------------------------------------------------
+
+void
+provokeTruncatedTrace(Rng &rng, const std::string &dir)
+{
+    const std::string path = writeValidTrace(dir, 64);
+    auto bytes = readFileBytes(path);
+    // Cut anywhere after the header: mid-record or on a record
+    // boundary, both leave fewer bytes than the header promises.
+    const std::size_t cut = traceHeaderBytes + 1 +
+        std::size_t(rng.below(bytes.size() - traceHeaderBytes - 1));
+    bytes.resize(cut);
+    writeFileBytes(path, bytes);
+    workload::TraceReplaySource src(path); // must raise InputError
+}
+
+void
+provokeCorruptTraceHeader(Rng &rng, const std::string &dir)
+{
+    const std::string path = writeValidTrace(dir, 64);
+    auto bytes = readFileBytes(path);
+    switch (rng.below(4)) {
+      case 0: // magic
+        bytes[std::size_t(rng.below(8))] ^= 0xFF;
+        break;
+      case 1: // version
+        bytes[8] = 0x7F;
+        break;
+      case 2: // thread id < 0
+        for (std::size_t i = 12; i < 16; ++i)
+            bytes[i] = 0xFF;
+        break;
+      default: // record count beyond any possible file
+        for (std::size_t i = 16; i < 24; ++i)
+            bytes[i] = 0xFF;
+        break;
+    }
+    writeFileBytes(path, bytes);
+    workload::TraceReplaySource src(path); // must raise InputError
+}
+
+void
+provokeCorruptTraceRecord(Rng &rng, const std::string &dir)
+{
+    const std::uint64_t n = 64;
+    const std::string path = writeValidTrace(dir, n);
+    auto bytes = readFileBytes(path);
+    const std::size_t rec = traceHeaderBytes +
+        std::size_t(rng.below(n)) * traceRecordBytes;
+    if (rng.below(2) == 0) {
+        // Op class byte (after pc/memAddr/target) out of range.
+        bytes[rec + 24] = 0xEE;
+    } else {
+        // PC above the canonical range (or zero).
+        const unsigned char fill = rng.below(2) ? 0xFF : 0x00;
+        for (std::size_t i = 0; i < 8; ++i)
+            bytes[rec + i] = fill;
+    }
+    writeFileBytes(path, bytes);
+
+    workload::TraceReplaySource src(path);
+    for (std::uint64_t i = 0; i < n; ++i)
+        src.next(); // must raise InputError at the corrupt record
+}
+
+void
+provokeGarbageConfig(Rng &rng, const std::string &)
+{
+    harness::MachineConfig mc = harness::MachineConfig::benchDefault();
+    switch (rng.below(7)) {
+      case 0:
+        mc.core.retireWidth = 0;
+        break;
+      case 1: // ROB narrower than retire width
+        mc.core.robEntries = 1;
+        mc.core.retireWidth = 4;
+        break;
+      case 2:
+        mc.mem.l1d.assoc = 0;
+        break;
+      case 3:
+        mc.mem.memLatency = 0;
+        break;
+      case 4:
+        mc.soe.missLatency =
+            std::numeric_limits<double>::quiet_NaN();
+        break;
+      case 5: // quota longer than the sampling period
+        mc.soe.maxCyclesQuota = mc.soe.delta * 2;
+        break;
+      default:
+        mc.soe.delta = 0;
+        break;
+    }
+    harness::Runner runner(mc); // must raise InputError
+    (void)runner;
+}
+
+core::HwCounters
+hw(std::uint64_t instrs, std::uint64_t cycles, std::uint64_t misses)
+{
+    core::HwCounters c;
+    c.instrs = instrs;
+    c.cycles = cycles;
+    c.misses = misses;
+    return c;
+}
+
+/**
+ * The graceful-degradation half of the counter-corruption contract:
+ * with guardrails on, a stream of corrupt samples must degrade the
+ * enforcer to plain SOE (never NaN quotas), and good samples must
+ * bring it back. Returns "" on success, a failure description
+ * otherwise.
+ */
+std::string
+checkGuardedDegradation(Rng &rng)
+{
+    core::GuardrailConfig g; // defaults: enabled, N = 4
+    core::FairnessEnforcer enf(0.5, 300.0, 2, g);
+
+    bool quotasOk = true;
+    auto feed = [&](const core::HwCounters &a,
+                    const core::HwCounters &b) {
+        for (double q : enf.recompute({a, b}, -1.0)) {
+            if (std::isnan(q) || q <= 0.0)
+                quotasOk = false;
+        }
+    };
+    auto good = [&] {
+        feed(hw(5000 + rng.below(200), 2000, 10),
+             hw(900 + rng.below(100), 1800, 30));
+    };
+
+    for (int k = 0; k < 10; ++k)
+        good();
+    if (!quotasOk)
+        return "NaN or non-positive quota in the good regime";
+    if (enf.degraded())
+        return "degraded with healthy counters";
+
+    // Thread 1's counter samples go bad: alternately impossible
+    // (cycles stuck at zero) and wildly outlying (bit-flipped
+    // instruction count), chosen by seed.
+    for (unsigned k = 0; k < g.maxBadWindows + 2; ++k) {
+        const core::HwCounters bad = rng.below(2) == 0
+            ? hw(5000, 0, 10)
+            : hw(5'000'000'000ull, 1, 0);
+        feed(hw(5000 + rng.below(200), 2000, 10), bad);
+    }
+    if (!quotasOk)
+        return "NaN or non-positive quota while degrading";
+    if (!enf.degraded())
+        return "did not degrade after N consecutive bad windows";
+    const auto &s = enf.guardStats();
+    if (s.degradations != 1)
+        return "expected exactly one degradation transition";
+    if (s.degenerateWindows + s.outlierWindows == 0)
+        return "no window was flagged degenerate or outlier";
+
+    for (int k = 0; k < 6; ++k)
+        good();
+    if (!quotasOk)
+        return "NaN or non-positive quota after recovery";
+    if (enf.degraded())
+        return "did not recover once good windows returned";
+    if (enf.guardStats().recoveries != 1)
+        return "expected exactly one recovery transition";
+    return "";
+}
+
+void
+provokeCounterCorruption(Rng &rng, const std::string &)
+{
+    // First the graceful half; a violation is a harness failure,
+    // not a SimError.
+    const std::string failure = checkGuardedDegradation(rng);
+    if (!failure.empty())
+        throw std::runtime_error("guarded degradation: " + failure);
+
+    // Then strict mode: with guardrails disabled the same impossible
+    // sample is a typed, defined failure.
+    core::GuardrailConfig strict;
+    strict.enabled = false;
+    core::FairnessEnforcer enf(0.5, 300.0, 2, strict);
+    enf.recompute({hw(5000, 2000, 10), hw(900, 1800, 30)}, -1.0);
+    // Retired instructions with zero run cycles: impossible.
+    enf.recompute({hw(5000, 0, 10), hw(900, 1800, 30)}, -1.0);
+}
+
+void
+provokeStuckMiss(Rng &rng, const std::string &)
+{
+    statistics::Group root("faultinject");
+    soe::MissOnlyPolicy pol;
+    soe::SoeConfig cfg;
+    cfg.delta = 10000;
+    cfg.maxCyclesQuota = 0;
+    cfg.watchdogWindows = 4 + unsigned(rng.below(4));
+    soe::SoeEngine eng(cfg, pol, 2, &root);
+
+    // Both threads hit misses that never resolve: thread 0 switches
+    // out on its miss, thread 1 then stalls at the ROB head forever
+    // with nobody ready to switch to.
+    const Tick never = Tick(1) << 60;
+    eng.onSwitchIn(0, 0);
+    eng.onRetire(0, 5);
+    if (eng.onHeadStall(0, 1, 20, never, true) != 1)
+        throw std::runtime_error("stuck-miss setup: no switch to 1");
+    eng.onSwitchOut(0, 20, cpu::SwitchReason::MissEvent);
+    eng.onSwitchIn(1, 26);
+    eng.onRetire(1, 30);
+    eng.onHeadStall(1, 2, 40, never, true);
+
+    // Drive cycles; the watchdog must fire within K+1 windows (the
+    // first window saw retirements). The bound makes a missing
+    // watchdog a detected failure instead of an endless loop.
+    const Tick bound = Tick(cfg.watchdogWindows + 3) * cfg.delta;
+    for (Tick t = 100; t <= bound; t += 100)
+        eng.onCycle(1, t); // must raise WatchdogTimeout
+}
+
+void
+provokeCorruptCheckpoint(Rng &rng, const std::string &)
+{
+    workload::WorkloadGenerator gen(
+        workload::spec::byName("mgrid"), 0, rng.next() | 1);
+    const std::uint64_t steps = 100 + rng.below(900);
+    for (std::uint64_t i = 0; i < steps; ++i)
+        gen.next();
+    auto bytes = workload::LitCheckpoint::capture(gen).serialize();
+
+    switch (rng.below(4)) {
+      case 0: // magic
+        bytes[std::size_t(rng.below(8))] ^= 0xFF;
+        break;
+      case 1: // profile-name length field inflated past the buffer
+        for (std::size_t i = 8; i < 12; ++i)
+            bytes[i] = 0xFF;
+        break;
+      case 2: // truncated tail
+        bytes.resize(bytes.size() - 1 - std::size_t(rng.below(8)));
+        break;
+      default: // trailing garbage
+        for (unsigned i = 0; i < 1 + rng.below(16); ++i)
+            bytes.push_back(std::uint8_t(rng.next()));
+        break;
+    }
+    workload::LitCheckpoint::deserialize(bytes); // CheckpointError
+}
+
+} // namespace
+
+const std::vector<FaultClass> &
+allFaultClasses()
+{
+    static const std::vector<FaultClass> all = {
+        FaultClass::TruncatedTrace,
+        FaultClass::CorruptTraceHeader,
+        FaultClass::CorruptTraceRecord,
+        FaultClass::GarbageConfig,
+        FaultClass::CounterCorruption,
+        FaultClass::StuckMiss,
+        FaultClass::CorruptCheckpoint,
+    };
+    return all;
+}
+
+const char *
+faultName(FaultClass f)
+{
+    switch (f) {
+      case FaultClass::TruncatedTrace:
+        return "truncated-trace";
+      case FaultClass::CorruptTraceHeader:
+        return "corrupt-trace-header";
+      case FaultClass::CorruptTraceRecord:
+        return "corrupt-trace-record";
+      case FaultClass::GarbageConfig:
+        return "garbage-config";
+      case FaultClass::CounterCorruption:
+        return "counter-corruption";
+      case FaultClass::StuckMiss:
+        return "stuck-miss";
+      case FaultClass::CorruptCheckpoint:
+        return "corrupt-checkpoint";
+    }
+    return "unknown";
+}
+
+bool
+faultByName(const std::string &name, FaultClass &out)
+{
+    for (FaultClass f : allFaultClasses()) {
+        if (name == faultName(f)) {
+            out = f;
+            return true;
+        }
+    }
+    return false;
+}
+
+int
+expectedExitCode(FaultClass f)
+{
+    switch (f) {
+      case FaultClass::TruncatedTrace:
+      case FaultClass::CorruptTraceHeader:
+      case FaultClass::CorruptTraceRecord:
+      case FaultClass::GarbageConfig:
+        return InputError::code;
+      case FaultClass::CounterCorruption:
+        return EstimatorError::code;
+      case FaultClass::StuckMiss:
+        return WatchdogTimeout::code;
+      case FaultClass::CorruptCheckpoint:
+        return CheckpointError::code;
+    }
+    return 0;
+}
+
+void
+provokeFault(FaultClass f, std::uint64_t seed,
+             const std::string &scratch_dir)
+{
+    Rng rng(deriveSeed(seed, std::uint64_t(f) + 1));
+    switch (f) {
+      case FaultClass::TruncatedTrace:
+        provokeTruncatedTrace(rng, scratch_dir);
+        break;
+      case FaultClass::CorruptTraceHeader:
+        provokeCorruptTraceHeader(rng, scratch_dir);
+        break;
+      case FaultClass::CorruptTraceRecord:
+        provokeCorruptTraceRecord(rng, scratch_dir);
+        break;
+      case FaultClass::GarbageConfig:
+        provokeGarbageConfig(rng, scratch_dir);
+        break;
+      case FaultClass::CounterCorruption:
+        provokeCounterCorruption(rng, scratch_dir);
+        break;
+      case FaultClass::StuckMiss:
+        provokeStuckMiss(rng, scratch_dir);
+        break;
+      case FaultClass::CorruptCheckpoint:
+        provokeCorruptCheckpoint(rng, scratch_dir);
+        break;
+    }
+}
+
+FaultReport
+runFaultScenario(FaultClass f, std::uint64_t seed,
+                 const std::string &scratch_dir)
+{
+    FaultReport rep;
+    rep.fault = f;
+    rep.scenario = faultName(f);
+    const int want = expectedExitCode(f);
+    try {
+        provokeFault(f, seed, scratch_dir);
+        std::ostringstream os;
+        os << "completed without the expected "
+           << "SimError (exit code " << want << ")";
+        rep.detail = os.str();
+    } catch (const SimError &e) {
+        if (e.exitCode() == want) {
+            rep.passed = true;
+            rep.detail = std::string(e.kindName()) + ": " + e.what();
+        } else {
+            std::ostringstream os;
+            os << "wrong error class " << e.kindName() << " (exit "
+               << e.exitCode() << ", expected " << want << "): "
+               << e.what();
+            rep.detail = os.str();
+        }
+    } catch (const std::exception &e) {
+        rep.detail = std::string("untyped failure: ") + e.what();
+    }
+    return rep;
+}
+
+} // namespace sim
+} // namespace soefair

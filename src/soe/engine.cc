@@ -1,7 +1,9 @@
 #include "soe/engine.hh"
 
 #include <cmath>
+#include <sstream>
 
+#include "sim/errors.hh"
 #include "sim/logging.hh"
 
 namespace soefair
@@ -16,6 +18,9 @@ SoeEngine::SoeEngine(const SoeConfig &config, SchedulingPolicy &pol,
       samples(&statsGroup, "samples", "delta windows sampled"),
       missEvents(&statsGroup, "missEvents",
                  "deduplicated head-of-ROB L2-miss events"),
+      degradedWindows(&statsGroup, "degradedWindows",
+                      "delta windows answered by the policy's "
+                      "degraded fallback"),
       switchLatency(&statsGroup, "switchLatency",
                     "switch-out to first-retire cycles"),
       instrsPerSwitch(&statsGroup, "instrsPerSwitch",
@@ -298,6 +303,12 @@ SoeEngine::sample(Tick now)
     for (std::size_t j = 0; j < threads.size(); ++j)
         window[j] = threads[j].window;
 
+    // No-progress watchdog: an engine with a resident thread that
+    // retires nothing for K whole delta windows is livelocked
+    // (stuck miss, switch storm) — fail with a diagnostic instead
+    // of burning the cycle cap silently.
+    checkProgress(window, now);
+
     lastMeasuredMissLat = windowStallEvents
         ? double(windowStallCycles) / double(windowStallEvents)
         : 0.0;
@@ -308,6 +319,8 @@ SoeEngine::sample(Tick now)
         policy.recompute(window, lastMeasuredMissLat);
     soefair_assert(quotas.size() == threads.size(),
                    "policy returned wrong quota count");
+    if (policy.degraded())
+        ++degradedWindows;
     if (sim::auditsEnabled()) {
         for (double q : quotas) {
             SOE_AUDIT(q > 0.0 && !std::isnan(q),
@@ -351,6 +364,54 @@ SoeEngine::sample(Tick now)
         threads[j].windowSwitchIns = 0;
     }
     lastSampleTick = now;
+}
+
+void
+SoeEngine::checkProgress(const std::vector<core::HwCounters> &window,
+                         Tick now)
+{
+    if (cfg.watchdogWindows == 0)
+        return;
+
+    std::uint64_t retired = 0;
+    for (const auto &w : window)
+        retired += w.instrs;
+    // Only windows the engine was actually driving count: a window
+    // with no resident thread and no switch-ins (e.g. an engine
+    // sampled only for quota recalculation) starves nobody.
+    bool active = false;
+    for (const auto &c : threads)
+        active = active || c.running || c.windowSwitchIns > 0;
+
+    if (!active || retired > 0) {
+        noProgressWindows = 0;
+        return;
+    }
+    if (++noProgressWindows >= cfg.watchdogWindows)
+        watchdogFire(now);
+}
+
+void
+SoeEngine::watchdogFire(Tick now) const
+{
+    std::ostringstream diag;
+    diag << "no retirement progress for " << noProgressWindows
+         << " delta windows (" << noProgressWindows * cfg.delta
+         << " cycles, now=" << now << "); per-thread state:";
+    for (const auto &c : threads) {
+        diag << "\n  thread " << c.tid
+             << ": running=" << (c.running ? "yes" : "no")
+             << " blockedUntil=" << c.blockedUntil
+             << (c.blockedUntil > now ? " (in the future)" : "")
+             << " quota=" << c.quota
+             << " windowSwitchIns=" << c.windowSwitchIns
+             << " window{instrs=" << c.window.instrs
+             << " cycles=" << c.window.cycles
+             << " misses=" << c.window.misses << "}"
+             << " totals{instrs=" << c.totals.instrs
+             << " misses=" << c.totals.misses << "}";
+    }
+    raiseError<soefair::WatchdogTimeout>(diag.str());
 }
 
 void

@@ -54,6 +54,14 @@ struct SoeConfig
      * in workloads that emit them deliberately.
      */
     bool switchOnPause = true;
+    /**
+     * No-progress watchdog: K delta windows in a row with engine
+     * activity (a resident thread or switch-ins) but zero retirement
+     * across all threads raises WatchdogTimeout with a per-thread
+     * diagnostic dump (livelock / whole-machine starvation, e.g. a
+     * stuck miss that never resolves). 0 disables the watchdog.
+     */
+    unsigned watchdogWindows = 8;
 };
 
 /** One delta window's worth of observable state (Figure 5 data). */
@@ -119,6 +127,11 @@ class SoeEngine : public cpu::SwitchController
     statistics::Counter samples;
     statistics::Counter missEvents;
     /**
+     * Delta windows the policy answered with its degraded fallback
+     * (estimator guardrails gave up; see core::FairnessEnforcer).
+     */
+    statistics::Counter degradedWindows;
+    /**
      * Effective switch latency by the paper's definition: cycles
      * from the start of a switch until the first instruction of the
      * incoming thread retires ("usually accumulates to around 25").
@@ -141,6 +154,9 @@ class SoeEngine : public cpu::SwitchController
     void closeResidency(ThreadContext &c, Tick now);
     void sample(Tick now);
     void auditWindow(Tick now) const;
+    void checkProgress(const std::vector<core::HwCounters> &window,
+                       Tick now);
+    [[noreturn]] void watchdogFire(Tick now) const;
 
     SoeConfig cfg;
     SchedulingPolicy &policy;
@@ -155,6 +171,8 @@ class SoeEngine : public cpu::SwitchController
     std::vector<core::WindowEstimate> lastEstimates;
     Tick nextSampleTick;
     Tick lastSampleTick = 0;
+    /** Consecutive active-but-retirement-free windows (watchdog). */
+    unsigned noProgressWindows = 0;
     /** Most recent onCycle tick (cycle-counter monotonicity audit). */
     Tick prevCycleTick = 0;
     SampleHook sampleHook;

@@ -62,6 +62,14 @@ class SchedulingPolicy
     virtual std::vector<double> recompute(
         const std::vector<core::HwCounters> &window,
         double measured_miss_lat) = 0;
+
+    /**
+     * True while the policy is running on its degraded fallback
+     * (guardrails gave up on the estimates); the engine counts
+     * degraded windows in its statistics. Policies with no fallback
+     * are never degraded.
+     */
+    virtual bool degraded() const { return false; }
 };
 
 /** Plain SOE: switch on misses only (the paper's F = 0). */
@@ -87,11 +95,14 @@ class FairnessPolicy : public SchedulingPolicy
      * @param use_measured_miss_lat Use the engine's measured
      *        average event latency instead of the fixed miss_lat
      *        (Section 6's extension for variable-latency events).
+     * @param guard Estimator guardrail tuning (screening, decay
+     *        carry-forward, N-bad-window degradation to plain SOE).
      */
     FairnessPolicy(double target_fairness, double miss_lat,
                    unsigned num_threads,
-                   bool use_measured_miss_lat = false)
-        : enforcer(target_fairness, miss_lat, num_threads),
+                   bool use_measured_miss_lat = false,
+                   const core::GuardrailConfig &guard = {})
+        : enforcer(target_fairness, miss_lat, num_threads, guard),
           useMeasured(use_measured_miss_lat)
     {}
 
@@ -106,6 +117,10 @@ class FairnessPolicy : public SchedulingPolicy
     }
 
     bool usesMeasuredMissLat() const { return useMeasured; }
+
+    /** Degraded to plain SOE while the guardrails distrust the
+     *  estimates (see core::FairnessEnforcer). */
+    bool degraded() const override { return enforcer.degraded(); }
 
     const core::FairnessEnforcer &getEnforcer() const
     {

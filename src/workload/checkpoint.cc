@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "sim/errors.hh"
 #include "sim/logging.hh"
 
 namespace soefair
@@ -34,7 +35,8 @@ Serializer::putString(const std::string &s)
 std::uint64_t
 Deserializer::getU64()
 {
-    soefair_assert(pos + 8 <= buf.size(), "checkpoint underrun");
+    if (pos + 8 > buf.size())
+        raiseError<CheckpointError>("checkpoint truncated (u64 underrun)");
     std::uint64_t v = 0;
     for (int i = 0; i < 8; ++i)
         v |= std::uint64_t(buf[pos++]) << (8 * i);
@@ -44,7 +46,8 @@ Deserializer::getU64()
 std::uint32_t
 Deserializer::getU32()
 {
-    soefair_assert(pos + 4 <= buf.size(), "checkpoint underrun");
+    if (pos + 4 > buf.size())
+        raiseError<CheckpointError>("checkpoint truncated (u32 underrun)");
     std::uint32_t v = 0;
     for (int i = 0; i < 4; ++i)
         v |= std::uint32_t(buf[pos++]) << (8 * i);
@@ -55,7 +58,10 @@ std::string
 Deserializer::getString()
 {
     std::uint32_t n = getU32();
-    soefair_assert(pos + n <= buf.size(), "checkpoint underrun");
+    if (n > buf.size() || pos + n > buf.size()) {
+        raiseError<CheckpointError>("checkpoint truncated (string of ",
+                                    n, " bytes overruns the buffer)");
+    }
     std::string s(reinterpret_cast<const char *>(buf.data()) + pos, n);
     pos += n;
     return s;
@@ -109,7 +115,7 @@ LitCheckpoint::deserialize(const std::vector<std::uint8_t> &data)
 {
     Deserializer d(data);
     if (d.getU64() != magic)
-        fatal("not a soefair checkpoint (bad magic)");
+        raiseError<CheckpointError>("not a soefair checkpoint (bad magic)");
     LitCheckpoint cp;
     cp.profName = d.getString();
     cp.masterSeed = d.getU64();
@@ -126,7 +132,8 @@ LitCheckpoint::deserialize(const std::vector<std::uint8_t> &data)
     cp.genState.addrState.streamCursor = d.getU64();
     cp.genState.addrState.stridedCursor = d.getU64();
     cp.genState.addrState.chaseCursor = d.getU64();
-    soefair_assert(d.exhausted(), "trailing bytes in checkpoint");
+    if (!d.exhausted())
+        raiseError<CheckpointError>("trailing bytes in checkpoint");
     return cp;
 }
 
@@ -134,13 +141,17 @@ void
 LitCheckpoint::saveFile(const std::string &path) const
 {
     std::ofstream os(path, std::ios::binary);
-    if (!os)
-        fatal("cannot open checkpoint file '", path, "' for writing");
+    if (!os) {
+        raiseError<CheckpointError>("cannot open checkpoint file '",
+                                    path, "' for writing");
+    }
     auto data = serialize();
     os.write(reinterpret_cast<const char *>(data.data()),
              std::streamsize(data.size()));
-    if (!os)
-        fatal("short write to checkpoint file '", path, "'");
+    if (!os) {
+        raiseError<CheckpointError>("short write to checkpoint file '",
+                                    path, "'");
+    }
 }
 
 LitCheckpoint
@@ -148,7 +159,7 @@ LitCheckpoint::loadFile(const std::string &path)
 {
     std::ifstream is(path, std::ios::binary);
     if (!is)
-        fatal("cannot open checkpoint file '", path, "'");
+        raiseError<CheckpointError>("cannot open checkpoint file '", path, "'");
     std::vector<std::uint8_t> data(
         (std::istreambuf_iterator<char>(is)),
         std::istreambuf_iterator<char>());

@@ -1,5 +1,8 @@
 #include "workload/trace_file.hh"
 
+#include <limits>
+
+#include "sim/errors.hh"
 #include "sim/logging.hh"
 
 namespace soefair
@@ -13,6 +16,10 @@ namespace
 constexpr std::uint64_t traceMagic = 0x534F455452433031ull;
 constexpr std::uint32_t traceVersion = 1;
 constexpr std::streamoff headerBytes = 8 + 4 + 4 + 8;
+/** Fixed record size: 3 x u64 + 3 bytes + 3 x u16. */
+constexpr std::streamoff recordBytes = 8 * 3 + 3 + 2 * 3;
+/** PCs above the canonical 48-bit user range are impossible. */
+constexpr Addr maxCanonicalPc = (Addr(1) << 48) - 1;
 
 void
 putU64(std::ostream &os, std::uint64_t v)
@@ -133,16 +140,49 @@ TraceReplaySource::TraceReplaySource(const std::string &path)
     : filePath(path), is(path, std::ios::binary)
 {
     if (!is)
-        fatal("cannot open trace file '", path, "'");
-    if (getU64(is) != traceMagic)
-        fatal("'", path, "' is not a soefair trace (bad magic)");
+        raiseError<InputError>("cannot open trace file '", path, "'");
+    if (getU64(is) != traceMagic) {
+        raiseError<InputError>("'", path,
+                               "' is not a soefair trace (bad magic)");
+    }
     const std::uint32_t version = getU32(is);
-    if (version != traceVersion)
-        fatal("trace '", path, "' has unsupported version ", version);
+    if (version != traceVersion) {
+        raiseError<InputError>("trace '", path,
+                               "' has unsupported version ", version);
+    }
     tid = ThreadID(std::int32_t(getU32(is)));
     fileOps = getU64(is);
-    if (!is || fileOps == 0)
-        fatal("trace '", path, "' is empty or truncated");
+    if (!is || fileOps == 0) {
+        raiseError<InputError>("trace '", path,
+                               "' is empty or truncated");
+    }
+    if (tid < 0) {
+        raiseError<InputError>("trace '", path,
+                               "' carries impossible thread id ", tid);
+    }
+
+    // The header's op count must match the bytes actually present:
+    // a short file means a truncated record stream; a long one means
+    // trailing garbage. Both used to replay silently wrong.
+    is.seekg(0, std::ios::end);
+    const std::streamoff actual = is.tellg();
+    const std::uint64_t maxOps =
+        std::uint64_t((std::numeric_limits<std::streamoff>::max() -
+                       headerBytes) / recordBytes);
+    if (fileOps > maxOps) {
+        raiseError<InputError>("trace '", path, "' header claims ",
+                               fileOps, " records, more than any "
+                               "file could hold");
+    }
+    const std::streamoff expected =
+        headerBytes + std::streamoff(fileOps) * recordBytes;
+    if (actual != expected) {
+        raiseError<InputError>(
+            "trace '", path, "' header claims ", fileOps,
+            " records (", expected, " bytes) but the file has ",
+            actual, " bytes");
+    }
+    seekToFirstRecord();
 }
 
 void
@@ -174,10 +214,21 @@ TraceReplaySource::next()
     op.src0 = isa::RegId(std::int16_t(getU16(is)));
     op.src1 = isa::RegId(std::int16_t(getU16(is)));
     op.dest = isa::RegId(std::int16_t(getU16(is)));
-    if (!is)
-        fatal("trace '", filePath, "' truncated mid-record");
-    soefair_assert(std::uint8_t(op.op) < isa::numOpClasses,
-                   "corrupt op class in trace");
+    if (!is) {
+        raiseError<InputError>("trace '", filePath,
+                               "' truncated mid-record ", readInPass);
+    }
+    // Record-level bounds: corruption inside a well-sized file.
+    if (std::uint8_t(op.op) >= isa::numOpClasses) {
+        raiseError<InputError>("trace '", filePath, "' record ",
+                               readInPass, " has corrupt op class ",
+                               unsigned(std::uint8_t(op.op)));
+    }
+    if (op.pc == 0 || op.pc > maxCanonicalPc) {
+        raiseError<InputError>("trace '", filePath, "' record ",
+                               readInPass, " has impossible pc 0x",
+                               std::hex, op.pc);
+    }
     ++readInPass;
     return op;
 }

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "core/analytic.hh"
+#include "sim/errors.hh"
 #include "sim/logging.hh"
 
 using namespace soefair;
@@ -171,8 +172,8 @@ TEST(Analytic, ThreeThreadModel)
 TEST(Analytic, RejectsBadParameters)
 {
     std::vector<ThreadModel> bad = {{0.0, 100.0}};
-    EXPECT_THROW(AnalyticSoe(bad, MachineModel{}), PanicError);
+    EXPECT_THROW(AnalyticSoe(bad, MachineModel{}), InputError);
     auto m = example2();
-    EXPECT_THROW(m.quotasForFairness(1.5), PanicError);
-    EXPECT_THROW(m.quotasForFairness(-0.1), PanicError);
+    EXPECT_THROW(m.quotasForFairness(1.5), InputError);
+    EXPECT_THROW(m.quotasForFairness(-0.1), InputError);
 }

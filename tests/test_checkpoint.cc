@@ -4,6 +4,7 @@
 
 #include <cstdio>
 
+#include "sim/errors.hh"
 #include "workload/checkpoint.hh"
 #include "workload/profile.hh"
 
@@ -23,12 +24,12 @@ TEST(Serializer, RoundTripPrimitives)
     EXPECT_TRUE(d.exhausted());
 }
 
-TEST(Serializer, UnderrunPanics)
+TEST(Serializer, UnderrunIsCheckpointError)
 {
     Serializer s;
     s.putU32(7);
     Deserializer d(s.buffer());
-    EXPECT_THROW(d.getU64(), PanicError);
+    EXPECT_THROW(d.getU64(), CheckpointError);
 }
 
 TEST(Checkpoint, CaptureRestoreContinuesStream)
@@ -87,7 +88,7 @@ TEST(Checkpoint, TruncatedIsRejected)
     WorkloadGenerator gen(spec::byName("gcc"), 0, 55);
     auto bytes = LitCheckpoint::capture(gen).serialize();
     bytes.resize(bytes.size() - 4);
-    EXPECT_THROW(LitCheckpoint::deserialize(bytes), PanicError);
+    EXPECT_THROW(LitCheckpoint::deserialize(bytes), CheckpointError);
 }
 
 TEST(Checkpoint, FileRoundTrip)

@@ -5,6 +5,7 @@
 #include "core/analytic.hh"
 #include "core/deficit.hh"
 #include "core/enforcer.hh"
+#include "sim/errors.hh"
 #include "sim/logging.hh"
 
 using namespace soefair;
@@ -105,13 +106,13 @@ TEST(Enforcer, QuotasClampToIpm)
 
 TEST(Enforcer, RejectsBadConstruction)
 {
-    EXPECT_THROW(FairnessEnforcer(1.5, 300.0, 2), PanicError);
-    EXPECT_THROW(FairnessEnforcer(0.5, -1.0, 2), PanicError);
-    EXPECT_THROW(FairnessEnforcer(0.5, 300.0, 0), PanicError);
+    EXPECT_THROW(FairnessEnforcer(1.5, 300.0, 2), InputError);
+    EXPECT_THROW(FairnessEnforcer(0.5, -1.0, 2), InputError);
+    EXPECT_THROW(FairnessEnforcer(0.5, 300.0, 0), InputError);
 }
 
 TEST(Enforcer, RejectsWrongCounterCount)
 {
     FairnessEnforcer e(0.5, 300.0, 2);
-    EXPECT_THROW(e.recompute({HwCounters{}}), PanicError);
+    EXPECT_THROW(e.recompute({HwCounters{}}), EstimatorError);
 }

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/errors.hh"
 #include "soe/engine.hh"
 #include "soe/policies.hh"
 #include "stats/stats.hh"
@@ -195,4 +196,87 @@ TEST(Engine, RejectsQuotaLargerThanDeltaShare)
     SoeConfig bad = smallCfg();
     bad.maxCyclesQuota = bad.delta; // > delta/2 for two threads
     EXPECT_THROW(SoeEngine(bad, pol, 2, &root), PanicError);
+}
+
+TEST(Engine, WatchdogFiresOnNoProgress)
+{
+    statistics::Group root("t");
+    MissOnlyPolicy pol;
+    SoeConfig cfg = smallCfg();
+    cfg.maxCyclesQuota = 0;
+    cfg.watchdogWindows = 3;
+    SoeEngine eng(cfg, pol, 2, &root);
+    eng.onSwitchIn(0, 0);
+    // Thread 0 stays resident but never retires: livelock.
+    EXPECT_THROW(
+        {
+            for (Tick t = 100; t <= 10 * cfg.delta; t += 100)
+                eng.onCycle(0, t);
+        },
+        WatchdogTimeout);
+}
+
+TEST(Engine, WatchdogResetsOnRetirement)
+{
+    statistics::Group root("t");
+    MissOnlyPolicy pol;
+    SoeConfig cfg = smallCfg();
+    cfg.maxCyclesQuota = 0;
+    cfg.watchdogWindows = 3;
+    SoeEngine eng(cfg, pol, 2, &root);
+    eng.onSwitchIn(0, 0);
+    // One retirement every other window keeps the streak below K.
+    for (Tick t = 100; t <= 20 * cfg.delta; t += 100) {
+        eng.onCycle(0, t);
+        if (t % (2 * cfg.delta) == 100)
+            eng.onRetire(0, t);
+    }
+    SUCCEED();
+}
+
+TEST(Engine, WatchdogDisabledWithZeroWindows)
+{
+    statistics::Group root("t");
+    MissOnlyPolicy pol;
+    SoeConfig cfg = smallCfg();
+    cfg.maxCyclesQuota = 0;
+    cfg.watchdogWindows = 0;
+    SoeEngine eng(cfg, pol, 2, &root);
+    eng.onSwitchIn(0, 0);
+    for (Tick t = 100; t <= 20 * cfg.delta; t += 100)
+        eng.onCycle(0, t);
+    SUCCEED();
+}
+
+TEST(Engine, WatchdogIgnoresIdleEngine)
+{
+    statistics::Group root("t");
+    MissOnlyPolicy pol;
+    SoeConfig cfg = smallCfg();
+    cfg.maxCyclesQuota = 0;
+    cfg.watchdogWindows = 2;
+    SoeEngine eng(cfg, pol, 2, &root);
+    // No thread ever switched in: windows are inactive, not starved.
+    for (Tick t = 100; t <= 20 * cfg.delta; t += 100)
+        eng.onCycle(0, t);
+    SUCCEED();
+}
+
+TEST(Engine, DegradedWindowsCounterTracksPolicy)
+{
+    statistics::Group root("t");
+    core::GuardrailConfig guard;
+    guard.maxBadWindows = 1;
+    FairnessPolicy pol(0.5, 300.0, 2, false, guard);
+    SoeConfig cfg = smallCfg();
+    cfg.maxCyclesQuota = 0;
+    cfg.watchdogWindows = 0;
+    SoeEngine eng(cfg, pol, 2, &root);
+    eng.onSwitchIn(0, 0);
+    // Starved windows (no retirement anywhere) deny every estimate;
+    // with N=1 the policy degrades and the engine counts it.
+    for (Tick t = 100; t <= 3 * cfg.delta; t += 100)
+        eng.onCycle(0, t);
+    EXPECT_GE(eng.degradedWindows.value(), 1u);
+    EXPECT_TRUE(pol.degraded());
 }

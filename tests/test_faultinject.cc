@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the fault-injection harness (sim/faultinject.hh): every
+ * scenario must satisfy its contract (the right SimError class or
+ * graceful degradation), deterministically for a fixed seed.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sim/errors.hh"
+#include "sim/faultinject.hh"
+
+using namespace soefair;
+using namespace soefair::sim;
+
+namespace
+{
+
+/** Scratch directory for scenario artifacts (shared, overwritten). */
+std::string
+scratchDir()
+{
+    const char *tmp = std::getenv("TMPDIR");
+    return tmp && *tmp ? std::string(tmp) : std::string("/tmp");
+}
+
+} // namespace
+
+TEST(FaultInject, NamesRoundTrip)
+{
+    for (FaultClass f : allFaultClasses()) {
+        FaultClass back;
+        ASSERT_TRUE(faultByName(faultName(f), back)) << faultName(f);
+        EXPECT_EQ(back, f);
+    }
+    FaultClass out;
+    EXPECT_FALSE(faultByName("no-such-fault", out));
+}
+
+TEST(FaultInject, ExitCodesMatchErrorTaxonomy)
+{
+    EXPECT_EQ(expectedExitCode(FaultClass::TruncatedTrace),
+              InputError::code);
+    EXPECT_EQ(expectedExitCode(FaultClass::CorruptTraceHeader),
+              InputError::code);
+    EXPECT_EQ(expectedExitCode(FaultClass::CorruptTraceRecord),
+              InputError::code);
+    EXPECT_EQ(expectedExitCode(FaultClass::GarbageConfig),
+              InputError::code);
+    EXPECT_EQ(expectedExitCode(FaultClass::CounterCorruption),
+              EstimatorError::code);
+    EXPECT_EQ(expectedExitCode(FaultClass::StuckMiss),
+              WatchdogTimeout::code);
+    EXPECT_EQ(expectedExitCode(FaultClass::CorruptCheckpoint),
+              CheckpointError::code);
+}
+
+TEST(FaultInject, EveryScenarioPassesAcrossSeeds)
+{
+    const std::string dir = scratchDir();
+    for (std::uint64_t seed : {1ull, 2ull, 3ull, 42ull}) {
+        for (FaultClass f : allFaultClasses()) {
+            auto rep = runFaultScenario(f, seed, dir);
+            EXPECT_TRUE(rep.passed)
+                << rep.scenario << " seed " << seed << ": "
+                << rep.detail;
+        }
+    }
+}
+
+TEST(FaultInject, SameSeedIsDeterministic)
+{
+    const std::string dir = scratchDir();
+    for (FaultClass f : allFaultClasses()) {
+        auto a = runFaultScenario(f, 7, dir);
+        auto b = runFaultScenario(f, 7, dir);
+        EXPECT_EQ(a.passed, b.passed) << a.scenario;
+        EXPECT_EQ(a.detail, b.detail) << a.scenario;
+    }
+}
+
+TEST(FaultInject, ProvokeThrowsTheTypedError)
+{
+    const std::string dir = scratchDir();
+    EXPECT_THROW(provokeFault(FaultClass::TruncatedTrace, 1, dir),
+                 InputError);
+    EXPECT_THROW(provokeFault(FaultClass::GarbageConfig, 1, dir),
+                 InputError);
+    EXPECT_THROW(provokeFault(FaultClass::CounterCorruption, 1, dir),
+                 EstimatorError);
+    EXPECT_THROW(provokeFault(FaultClass::StuckMiss, 1, dir),
+                 WatchdogTimeout);
+    EXPECT_THROW(provokeFault(FaultClass::CorruptCheckpoint, 1, dir),
+                 CheckpointError);
+}

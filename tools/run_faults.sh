@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# Fault-injection matrix driver (see docs/robustness.md).
+#
+# Runs every fault scenario against the soefair CLI and asserts the
+# hardened-runtime contract:
+#
+#   1. every scenario's bare run (--raw) exits with exactly the exit
+#      code of its SimError class (10..13) -- never a crash (>= 128),
+#      never a hang (timeout), never success;
+#   2. the checked sweep (`faults all`) reports every scenario as
+#      passing, across several seeds;
+#   3. same-seed runs are bit-identical (determinism: no wall clock
+#      or unseeded randomness anywhere in the harness);
+#   4. a smoke SOE run on the same binary emits no NaN.
+#
+# Usage: tools/run_faults.sh [build-dir]   (default: build)
+# The binary is <build-dir>/tools/soefair_cli; pass the directory of
+# a sanitized build to compose the fault paths with ASan/UBSan and
+# the SOE_AUDIT invariant sweeps (the ci-asan preset turns both on).
+
+set -u
+
+BUILD_DIR=${1:-build}
+CLI="$BUILD_DIR/tools/soefair_cli"
+TIMEOUT_S=${SOEFAIR_FAULT_TIMEOUT:-180}
+SEEDS=${SOEFAIR_FAULT_SEEDS:-"1 2 3 4 5"}
+
+if [ ! -x "$CLI" ]; then
+    echo "error: $CLI not found or not executable" >&2
+    echo "build first: cmake --preset release && cmake --build ..." >&2
+    exit 2
+fi
+
+SCRATCH=$(mktemp -d)
+trap 'rm -rf "$SCRATCH"' EXIT
+
+failures=0
+fail() {
+    echo "FAIL: $*" >&2
+    failures=$((failures + 1))
+}
+
+# --- 1. raw exit-code matrix ----------------------------------------
+
+declare -A EXPECT=(
+    [truncated-trace]=10
+    [corrupt-trace-header]=10
+    [corrupt-trace-record]=10
+    [garbage-config]=10
+    [counter-corruption]=11
+    [stuck-miss]=12
+    [corrupt-checkpoint]=13
+)
+
+for scenario in truncated-trace corrupt-trace-header \
+                corrupt-trace-record garbage-config \
+                counter-corruption stuck-miss corrupt-checkpoint; do
+    want=${EXPECT[$scenario]}
+    timeout "$TIMEOUT_S" "$CLI" faults "$scenario" --raw \
+        --seed 1 --dir "$SCRATCH" >/dev/null 2>&1
+    got=$?
+    if [ "$got" -eq 124 ]; then
+        fail "$scenario: hung (killed after ${TIMEOUT_S}s)"
+    elif [ "$got" -ge 128 ]; then
+        fail "$scenario: crashed (exit $got)"
+    elif [ "$got" -ne "$want" ]; then
+        fail "$scenario: exit $got, expected $want"
+    else
+        echo "ok: $scenario exits $got (raw)"
+    fi
+done
+
+# --- 2. checked sweep across seeds ----------------------------------
+
+for seed in $SEEDS; do
+    out="$SCRATCH/sweep.$seed.out"
+    if ! timeout "$TIMEOUT_S" "$CLI" faults all --seed "$seed" \
+            --dir "$SCRATCH" >"$out" 2>"$out.err"; then
+        fail "faults all --seed $seed exited nonzero"
+        sed 's/^/    /' "$out" "$out.err" >&2
+    elif grep -q "FAIL" "$out"; then
+        fail "faults all --seed $seed reported scenario failures"
+        sed 's/^/    /' "$out" >&2
+    else
+        echo "ok: faults all --seed $seed"
+    fi
+done
+
+# --- 3. same-seed determinism ---------------------------------------
+
+a="$SCRATCH/det.a"
+b="$SCRATCH/det.b"
+timeout "$TIMEOUT_S" "$CLI" faults all --seed 7 --dir "$SCRATCH" \
+    >"$a" 2>/dev/null
+timeout "$TIMEOUT_S" "$CLI" faults all --seed 7 --dir "$SCRATCH" \
+    >"$b" 2>/dev/null
+if cmp -s "$a" "$b"; then
+    echo "ok: same-seed runs are bit-identical"
+else
+    fail "same-seed fault sweeps differ"
+    diff "$a" "$b" | sed 's/^/    /' >&2
+fi
+
+# --- 4. NaN smoke on a real run -------------------------------------
+
+smoke="$SCRATCH/smoke.out"
+if ! timeout "$TIMEOUT_S" env SOEFAIR_SCALE=0.1 \
+        "$CLI" run-soe mcf mgrid --policy fairness --F 0.5 \
+        >"$smoke" 2>/dev/null; then
+    fail "run-soe smoke run failed"
+elif grep -qi "nan" "$smoke"; then
+    fail "run-soe smoke output contains NaN"
+    grep -in "nan" "$smoke" | sed 's/^/    /' >&2
+else
+    echo "ok: smoke SOE run is NaN-free"
+fi
+
+# --------------------------------------------------------------------
+
+if [ "$failures" -ne 0 ]; then
+    echo "run_faults: $failures check(s) FAILED" >&2
+    exit 1
+fi
+echo "run_faults: all checks passed"
+exit 0

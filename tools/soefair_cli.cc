@@ -18,6 +18,13 @@
  *                                defaults to the paper's 16; --out
  *                                file defaults to stdout)
  *   analytic                     evaluate the analytical model
+ *   faults [scenario|all]        fault-injection harness: run one
+ *                                scenario (or all) and report
+ *                                pass/fail (--seed N, --dir D for
+ *                                scratch files; --raw runs the bare
+ *                                faulting path so the process exits
+ *                                with the SimError's code — see
+ *                                docs/robustness.md)
  *
  * Common options:
  *   --seed N          master seed base (default 1)
@@ -55,6 +62,9 @@
 #include "harness/runner.hh"
 #include "harness/sweep.hh"
 #include "harness/table.hh"
+#include "sim/errors.hh"
+#include "sim/faultinject.hh"
+#include "sim/invariant.hh"
 #include "sim/logging.hh"
 #include "soe/policies.hh"
 #include "workload/generator.hh"
@@ -74,7 +84,7 @@ usage()
         "usage: soefair_cli <command> [args] [options]\n"
         "commands: list | machine | run-st <bench> | "
         "run-soe <benchA> <benchB>... | record-trace <bench> | "
-        "sweep | analytic\n"
+        "sweep | analytic | faults [scenario|all]\n"
         "see the header of tools/soefair_cli.cc for all options\n";
     return 2;
 }
@@ -355,6 +365,66 @@ cmdAnalytic(const CliOptions &opts)
     return 0;
 }
 
+int
+cmdFaults(const CliOptions &opts)
+{
+    const std::string which = opts.positional().size() > 1
+        ? opts.positional()[1]
+        : "all";
+    const std::uint64_t seed = opts.getUint("seed", 1);
+    const std::string dir = opts.getString("dir", ".");
+
+    std::vector<soefair::sim::FaultClass> faults;
+    if (which == "all") {
+        faults = soefair::sim::allFaultClasses();
+    } else {
+        soefair::sim::FaultClass f;
+        if (!soefair::sim::faultByName(which, f)) {
+            std::cerr << "unknown fault scenario '" << which
+                      << "'; known:";
+            for (auto k : soefair::sim::allFaultClasses())
+                std::cerr << " " << soefair::sim::faultName(k);
+            std::cerr << "\n";
+            return 2;
+        }
+        faults = {f};
+    }
+
+    if (opts.hasFlag("raw")) {
+        if (faults.size() != 1) {
+            std::cerr << "--raw needs exactly one scenario\n";
+            return 2;
+        }
+        // The typed SimError escapes to main(), which maps it to
+        // the class's exit code; completion means exit 0.
+        soefair::sim::provokeFault(faults[0], seed, dir);
+        return 0;
+    }
+
+    TextTable t({"scenario", "expected exit", "result", "detail"});
+    unsigned failed = 0;
+    for (auto f : faults) {
+        auto rep = soefair::sim::runFaultScenario(f, seed, dir);
+        if (!rep.passed)
+            ++failed;
+        // Keep the table single-line per scenario.
+        std::string detail = rep.detail;
+        for (char &ch : detail) {
+            if (ch == '\n')
+                ch = ' ';
+        }
+        if (detail.size() > 60)
+            detail = detail.substr(0, 57) + "...";
+        t.addRow({rep.scenario,
+                  std::to_string(soefair::sim::expectedExitCode(f)),
+                  rep.passed ? "pass" : "FAIL", detail});
+    }
+    t.print(std::cout);
+    std::cout << (faults.size() - failed) << "/" << faults.size()
+              << " scenarios passed (seed " << seed << ")\n";
+    return failed ? 1 : 0;
+}
+
 } // namespace
 
 int
@@ -364,7 +434,7 @@ main(int argc, char **argv)
         return usage();
 
     const std::vector<std::string> flagNames = {
-        "measured", "l1-switch", "windows", "stats"};
+        "measured", "l1-switch", "windows", "stats", "raw"};
     CliOptions opts(argc - 1, argv + 1, flagNames);
     if (opts.positional().empty())
         return usage();
@@ -385,10 +455,24 @@ main(int argc, char **argv)
             return cmdSweep(opts);
         if (cmd == "analytic")
             return cmdAnalytic(opts);
+        if (cmd == "faults")
+            return cmdFaults(opts);
         std::cerr << "unknown command '" << cmd << "'\n";
         return usage();
+    } catch (const SimError &e) {
+        // Typed, defined failure: each class has its own exit code
+        // (10..13; see sim/errors.hh and docs/robustness.md). The
+        // message was printed when the error was raised.
+        return e.exitCode();
     } catch (const FatalError &e) {
         // fatal() already printed the message.
         return 1;
+    } catch (const PanicError &) {
+        // Internal simulator bug (message already printed by
+        // panic()), not a defined failure.
+        return 3;
+    } catch (const AuditError &e) {
+        std::cerr << "audit failure: " << e.what() << "\n";
+        return 3;
     }
 }
