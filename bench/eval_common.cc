@@ -1,10 +1,14 @@
 #include "eval_common.hh"
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 
+#include "sim/errors.hh"
 #include "sim/logging.hh"
+#include "workload/profile.hh"
 
 namespace soefair
 {
@@ -17,6 +21,7 @@ namespace
 {
 
 constexpr const char *cacheFile = "soefair_eval_cache.txt";
+constexpr const char *journalFile = "soefair_eval_journal.jsonl";
 constexpr const char *cacheVersion = "soefair-eval-v1";
 
 std::string
@@ -53,21 +58,78 @@ levels()
     return EvaluationSweep::standardLevels();
 }
 
+EvalData
+evaluationData()
+{
+    EvalData data;
+    if (loadPairResults(cacheFile, configKey(), data.pairs)) {
+        std::cerr << "[eval] loaded cached sweep from " << cacheFile
+                  << "\n";
+        return data;
+    }
+
+    SweepCampaign campaign(evalMachine(), evalRunConfig(),
+                           workload::spec::evaluationPairs(),
+                           levels());
+
+    // Resume a compatible journal left by an earlier driver (or a
+    // killed run) so completed jobs — the single-thread baselines in
+    // particular — are replayed instead of re-simulated.
+    bool resume = false;
+    if (std::ifstream(journalFile).good()) {
+        try {
+            const auto ids = campaign.jobIds();
+            loadJournal(journalFile, campaign.journalKey(),
+                        /*tolerate_torn_tail=*/true, &ids);
+            resume = true;
+            std::cerr << "[eval] resuming sweep from " << journalFile
+                      << "\n";
+        } catch (const SimError &e) {
+            warn("ignoring incompatible eval journal: ", e.what());
+        }
+    }
+    if (!resume) {
+        std::cerr << "[eval] running the 16-pair evaluation sweep "
+                  << "(journal: " << journalFile << ", cache: "
+                  << cacheFile << ")...\n";
+    }
+
+    SupervisorConfig scfg;
+    scfg.deadlineSeconds = 3600.0;
+    scfg.progress = &std::cerr;
+    if (const char *jobs = std::getenv("SOEFAIR_EVAL_JOBS"))
+        scfg.jobSlots = unsigned(std::atoi(jobs));
+
+    CampaignResult agg = campaign.run(scfg, journalFile, resume);
+
+    // Figure drivers index every standard level, so only fully
+    // complete pairs are safe to hand them.
+    std::set<std::string> incomplete;
+    for (const auto &m : agg.missing)
+        incomplete.insert(m.pair);
+    for (auto &pr : agg.results) {
+        if (!incomplete.count(pr.label()))
+            data.pairs.push_back(std::move(pr));
+    }
+    data.missing = std::move(agg.missing);
+
+    if (data.complete()) {
+        savePairResults(cacheFile, configKey(), data.pairs);
+    } else {
+        warn("evaluation sweep is PARTIAL (", data.missing.size(),
+             " cell(s) missing); re-run to resume from ",
+             journalFile);
+    }
+    return data;
+}
+
 std::vector<PairResult>
 evaluationResults()
 {
-    std::vector<PairResult> results;
-    if (loadPairResults(cacheFile, configKey(), results)) {
-        std::cerr << "[eval] loaded cached sweep from " << cacheFile
-                  << "\n";
-        return results;
-    }
-    std::cerr << "[eval] running the 16-pair evaluation sweep "
-              << "(cached to " << cacheFile << ")...\n";
-    EvaluationSweep sweep(evalMachine(), evalRunConfig());
-    results = sweep.runEvaluation(&std::cerr);
-    savePairResults(cacheFile, configKey(), results);
-    return results;
+    EvalData data = evaluationData();
+    for (const auto &m : data.missing)
+        warn("evaluation gap: ", m.marker());
+    return data.pairs;
 }
 
 } // namespace bench

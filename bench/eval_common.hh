@@ -30,10 +30,33 @@ harness::MachineConfig evalMachine();
 harness::RunConfig evalRunConfig();
 
 /**
+ * The evaluation dataset plus explicit gaps. `pairs` holds only
+ * pairs with every cell present (safe for PairResult::level());
+ * `missing` lists each cell the campaign could not produce, which
+ * the figure drivers print as MISSING(...) markers instead of
+ * silently dropping rows.
+ */
+struct EvalData
+{
+    std::vector<harness::PairResult> pairs;
+    std::vector<harness::MissingCell> missing;
+
+    bool complete() const { return missing.empty(); }
+};
+
+/**
  * Obtain the full evaluation dataset, from the cache file if it
  * matches the current configuration, else by running the sweep
- * (and writing the cache).
+ * under the crash-isolated supervisor (see docs/robustness.md).
+ * The sweep journals to soefair_eval_journal.jsonl: a second figure
+ * driver — or a re-run after a crash — resumes from the journal and
+ * replays completed jobs (single-thread baselines included) instead
+ * of re-simulating them. The text cache is written only once the
+ * campaign is complete.
  */
+EvalData evaluationData();
+
+/** Back-compat wrapper: evaluationData().pairs (warns on gaps). */
 std::vector<harness::PairResult> evaluationResults();
 
 /** The standard enforcement levels: 0, 1/4, 1/2, 1. */

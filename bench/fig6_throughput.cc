@@ -19,13 +19,16 @@ using harness::TextTable;
 int
 main()
 {
-    auto results = evaluationResults();
+    auto data = evaluationData();
+    const auto &results = data.pairs;
 
     std::cout << "Figure 6: throughput of the benchmark pairs "
               << "(IPC of thread A + thread B = total)\n\n";
 
     TextTable t({"pair", "ipcST_A", "ipcST_B", "F", "ipcA", "ipcB",
                  "ipcSOE", "speedup/ST"});
+    for (const auto &m : data.missing)
+        t.addSpanRow(m.marker());
     std::vector<double> speedupSums(levels().size(), 0.0);
 
     for (const auto &pr : results) {
@@ -52,8 +55,11 @@ main()
     auto ls = levels();
     for (std::size_t li = 0; li < ls.size(); ++li) {
         avg.addRow({ls[li] == 0 ? "0" : TextTable::num(ls[li], 2),
-                    TextTable::num(
-                        speedupSums[li] / double(results.size()), 3),
+                    results.empty()
+                        ? "-"
+                        : TextTable::num(speedupSums[li] /
+                                             double(results.size()),
+                                         3),
                     paperVals[li]});
     }
     avg.print(std::cout);

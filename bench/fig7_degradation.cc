@@ -19,13 +19,16 @@ using harness::TextTable;
 int
 main()
 {
-    auto results = evaluationResults();
+    auto data = evaluationData();
+    const auto &results = data.pairs;
 
     std::cout << "Figure 7: throughput degradation and forced "
               << "switches per 1000 cycles\n(throughput normalized "
               << "to the F = 0 run of the same pair)\n\n";
 
     TextTable t({"pair", "F", "norm throughput", "forced/1kcyc"});
+    for (const auto &m : data.missing)
+        t.addSpanRow(m.marker());
     std::vector<double> normSums(levels().size(), 0.0);
 
     for (const auto &pr : results) {
@@ -54,7 +57,9 @@ main()
     const char *paperVals[] = {"0.0", "2.2", "3.7", "7.2"};
     auto ls = levels();
     for (std::size_t li = 0; li < ls.size(); ++li) {
-        const double mean = normSums[li] / double(results.size());
+        const double mean = results.empty()
+            ? 0.0
+            : normSums[li] / double(results.size());
         avg.addRow({ls[li] == 0 ? "0" : TextTable::num(ls[li], 2),
                     TextTable::num(mean, 4),
                     TextTable::num(100.0 * (1.0 - mean), 1),

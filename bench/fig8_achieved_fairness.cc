@@ -21,7 +21,8 @@ using harness::TextTable;
 int
 main()
 {
-    auto results = evaluationResults();
+    auto data = evaluationData();
+    const auto &results = data.pairs;
 
     // Order runs by their F = 0 achieved fairness (paper's x-axis).
     std::vector<const harness::PairResult *> ordered;
@@ -36,6 +37,8 @@ main()
     std::cout << "Figure 8 (left): achieved fairness per run, "
               << "ordered by F = 0 fairness\n\n";
     TextTable t({"pair", "F=0", "F=1/4", "F=1/2", "F=1"});
+    for (const auto &m : data.missing)
+        t.addSpanRow(m.marker());
     for (const auto *pr : ordered) {
         t.addRow({pr->label(),
                   TextTable::num(pr->level(0.0).fairness, 3),
@@ -54,6 +57,11 @@ main()
         for (const auto &pr : results) {
             vals.push_back(
                 core::truncateAtTarget(pr.level(f).fairness, f));
+        }
+        if (vals.empty()) {
+            avg.addRow({f == 0 ? "0" : TextTable::num(f, 2), "-",
+                        "-", f == 0 ? "-" : TextTable::num(f, 2)});
+            continue;
         }
         auto ms = core::meanStd(vals);
         avg.addRow({f == 0 ? "0" : TextTable::num(f, 2),

@@ -30,6 +30,8 @@ CliOptions::CliOptions(int argc, const char *const *argv,
         const auto eq = name.find('=');
         if (eq != std::string::npos) {
             options[name.substr(0, eq)] = name.substr(eq + 1);
+            orderedOptions.emplace_back(name.substr(0, eq),
+                                        name.substr(eq + 1));
             continue;
         }
         if (std::find(known_flags.begin(), known_flags.end(), name) !=
@@ -40,6 +42,7 @@ CliOptions::CliOptions(int argc, const char *const *argv,
         if (i + 1 >= argc)
             fatal("option --", name, " needs a value");
         options[name] = argv[++i];
+        orderedOptions.emplace_back(name, argv[i]);
     }
 }
 
@@ -61,6 +64,17 @@ CliOptions::getString(const std::string &name,
 {
     auto it = options.find(name);
     return it == options.end() ? def : it->second;
+}
+
+std::vector<std::string>
+CliOptions::getStrings(const std::string &name) const
+{
+    std::vector<std::string> out;
+    for (const auto &kv : orderedOptions) {
+        if (kv.first == name)
+            out.push_back(kv.second);
+    }
+    return out;
 }
 
 std::uint64_t

@@ -1,0 +1,372 @@
+#include "harness/journal.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "sim/errors.hh"
+
+namespace soefair
+{
+namespace harness
+{
+
+namespace
+{
+
+/**
+ * Parse one flat JSON object line into string fields. Only the
+ * subset the journal emits is accepted: an object of
+ * "key":"string" / "key":integer members. Anything else returns
+ * false (the caller decides whether that is a torn tail or
+ * corruption).
+ */
+bool
+parseFlatJson(const std::string &line,
+              std::map<std::string, std::string> &out)
+{
+    out.clear();
+    std::size_t i = 0;
+    auto skipWs = [&] {
+        while (i < line.size() &&
+               (line[i] == ' ' || line[i] == '\t'))
+            ++i;
+    };
+    auto parseString = [&](std::string &s) {
+        if (i >= line.size() || line[i] != '"')
+            return false;
+        ++i;
+        s.clear();
+        while (i < line.size() && line[i] != '"') {
+            char c = line[i++];
+            if (c == '\\') {
+                if (i >= line.size())
+                    return false;
+                char e = line[i++];
+                switch (e) {
+                  case '"': s += '"'; break;
+                  case '\\': s += '\\'; break;
+                  case 'n': s += '\n'; break;
+                  case 't': s += '\t'; break;
+                  default: return false;
+                }
+            } else {
+                s += c;
+            }
+        }
+        if (i >= line.size())
+            return false;
+        ++i; // closing quote
+        return true;
+    };
+
+    skipWs();
+    if (i >= line.size() || line[i] != '{')
+        return false;
+    ++i;
+    skipWs();
+    if (i < line.size() && line[i] == '}') {
+        ++i;
+    } else {
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (i >= line.size() || line[i] != ':')
+                return false;
+            ++i;
+            skipWs();
+            std::string val;
+            if (i < line.size() && line[i] == '"') {
+                if (!parseString(val))
+                    return false;
+            } else {
+                // Bare integer.
+                std::size_t start = i;
+                while (i < line.size() &&
+                       (std::isdigit(unsigned(line[i])) ||
+                        line[i] == '-'))
+                    ++i;
+                if (i == start)
+                    return false;
+                val = line.substr(start, i - start);
+            }
+            out[key] = val;
+            skipWs();
+            if (i < line.size() && line[i] == ',') {
+                ++i;
+                continue;
+            }
+            break;
+        }
+        skipWs();
+        if (i >= line.size() || line[i] != '}')
+            return false;
+        ++i;
+    }
+    skipWs();
+    return i == line.size();
+}
+
+unsigned
+parseAttempt(const std::map<std::string, std::string> &fields,
+             const std::string &path)
+{
+    auto it = fields.find("attempt");
+    if (it == fields.end())
+        return 0;
+    char *end = nullptr;
+    unsigned long v = std::strtoul(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0') {
+        raiseError<CheckpointError>("journal '", path,
+                                    "': bad attempt '", it->second,
+                                    "'");
+    }
+    return unsigned(v);
+}
+
+std::string
+field(const std::map<std::string, std::string> &fields,
+      const char *name)
+{
+    auto it = fields.find(name);
+    return it == fields.end() ? std::string() : it->second;
+}
+
+} // namespace
+
+std::string
+journalEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+JournalWriter::~JournalWriter()
+{
+    close();
+}
+
+void
+JournalWriter::create(const std::string &path, const std::string &key)
+{
+    close();
+    fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        raiseError<CheckpointError>("cannot create journal '", path,
+                                    "': ", std::strerror(errno));
+    }
+    filePath = path;
+    std::ostringstream os;
+    os << "{\"journal\":\"soefair-sweep\",\"v\":" << journalVersion
+       << ",\"key\":\"" << journalEscape(key) << "\"}";
+    writeLine(os.str());
+}
+
+void
+JournalWriter::openAppend(const std::string &path)
+{
+    close();
+    fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+    if (fd < 0) {
+        raiseError<CheckpointError>("cannot append to journal '",
+                                    path, "': ",
+                                    std::strerror(errno));
+    }
+    filePath = path;
+}
+
+void
+JournalWriter::writeLine(const std::string &line)
+{
+    soefair_assert(fd >= 0, "journal write on closed journal");
+    std::string buf = line + "\n";
+    const char *p = buf.data();
+    std::size_t left = buf.size();
+    while (left > 0) {
+        ssize_t n = ::write(fd, p, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            raiseError<CheckpointError>("journal '", filePath,
+                                        "' write failed: ",
+                                        std::strerror(errno));
+        }
+        p += n;
+        left -= std::size_t(n);
+    }
+    // Write-ahead: the record must be durable before the supervisor
+    // acts on the transition it describes.
+    if (::fsync(fd) != 0 && errno != EINVAL && errno != EROFS) {
+        raiseError<CheckpointError>("journal '", filePath,
+                                    "' fsync failed: ",
+                                    std::strerror(errno));
+    }
+}
+
+void
+JournalWriter::append(const JournalRecord &rec)
+{
+    std::ostringstream os;
+    os << "{\"job\":\"" << journalEscape(rec.job) << "\",\"state\":\""
+       << journalEscape(rec.state) << "\",\"attempt\":" << rec.attempt;
+    if (!rec.payload.empty() || rec.state == "done")
+        os << ",\"payload\":\"" << journalEscape(rec.payload) << "\"";
+    if (!rec.errClass.empty())
+        os << ",\"class\":\"" << journalEscape(rec.errClass) << "\"";
+    if (!rec.detail.empty())
+        os << ",\"detail\":\"" << journalEscape(rec.detail) << "\"";
+    os << "}";
+    writeLine(os.str());
+}
+
+void
+JournalWriter::close()
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+    filePath.clear();
+}
+
+JournalState
+loadJournal(const std::string &path, const std::string &expected_key,
+            bool tolerate_torn_tail,
+            const std::set<std::string> *known_jobs)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        raiseError<CheckpointError>("cannot read journal '", path,
+                                    "'");
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const std::string text = buf.str();
+    if (text.empty())
+        raiseError<CheckpointError>("journal '", path, "' is empty");
+
+    // Split into lines, remembering whether the final line was
+    // newline-terminated (a torn tail is not).
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    while (start < text.size()) {
+        std::size_t nl = text.find('\n', start);
+        if (nl == std::string::npos) {
+            lines.push_back(text.substr(start));
+            break;
+        }
+        lines.push_back(text.substr(start, nl - start));
+        start = nl + 1;
+    }
+    const bool lastTerminated = text.back() == '\n';
+
+    JournalState st;
+    std::map<std::string, std::string> fields;
+
+    for (std::size_t li = 0; li < lines.size(); ++li) {
+        const bool isTornTail =
+            li + 1 == lines.size() && !lastTerminated;
+        if (!parseFlatJson(lines[li], fields)) {
+            if (isTornTail && tolerate_torn_tail) {
+                warn("journal '", path, "': dropping torn final ",
+                     "line (", lines[li].size(), " bytes)");
+                break;
+            }
+            raiseError<CheckpointError>(
+                "journal '", path, "': malformed line ", li + 1,
+                isTornTail ? " (torn tail; pass --resume to recover)"
+                           : "");
+        }
+
+        if (li == 0) {
+            if (field(fields, "journal") != "soefair-sweep") {
+                raiseError<CheckpointError>("journal '", path,
+                                            "': missing header");
+            }
+            const std::string v = field(fields, "v");
+            if (v != std::to_string(journalVersion)) {
+                raiseError<CheckpointError>(
+                    "journal '", path, "': version '", v,
+                    "' does not match expected ", journalVersion);
+            }
+            st.key = field(fields, "key");
+            if (st.key != expected_key) {
+                raiseError<CheckpointError>(
+                    "journal '", path, "': key mismatch\n  journal: ",
+                    st.key, "\n  expected: ", expected_key);
+            }
+            continue;
+        }
+
+        const std::string job = field(fields, "job");
+        const std::string state = field(fields, "state");
+        if (job.empty() || state.empty()) {
+            raiseError<CheckpointError>("journal '", path,
+                                        "': record without job/state",
+                                        " at line ", li + 1);
+        }
+        if (known_jobs && !known_jobs->count(job)) {
+            raiseError<CheckpointError>(
+                "journal '", path, "': unknown job id '", job,
+                "' (journal belongs to a different campaign?)");
+        }
+
+        JournalRecord rec;
+        rec.job = job;
+        rec.state = state;
+        rec.attempt = parseAttempt(fields, path);
+        rec.payload = field(fields, "payload");
+        rec.errClass = field(fields, "class");
+        rec.detail = field(fields, "detail");
+
+        auto &att = st.attempts[job];
+        att = std::max(att, rec.attempt);
+
+        if (state == "running") {
+            continue;
+        } else if (state == "done") {
+            if (st.done.count(job)) {
+                raiseError<CheckpointError>(
+                    "journal '", path, "': duplicate done record ",
+                    "for job '", job, "' at line ", li + 1);
+            }
+            st.done.emplace(job, std::move(rec));
+            st.failed.erase(job);
+        } else if (state == "failed") {
+            if (st.done.count(job)) {
+                raiseError<CheckpointError>(
+                    "journal '", path, "': job '", job,
+                    "' failed after done at line ", li + 1);
+            }
+            st.failed[job] = std::move(rec);
+        } else {
+            raiseError<CheckpointError>("journal '", path,
+                                        "': unknown state '", state,
+                                        "' at line ", li + 1);
+        }
+    }
+    return st;
+}
+
+} // namespace harness
+} // namespace soefair

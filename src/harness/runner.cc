@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <memory>
+#include <sstream>
 
 #include "harness/retire_trace.hh"
 #include "sim/logging.hh"
@@ -214,6 +215,73 @@ Runner::runSoe(const std::vector<ThreadSpec> &specs,
     if (rc.statsDump)
         sys.dumpStats(*rc.statsDump);
     return res;
+}
+
+std::string
+encodeStPayload(const StRunResult &r)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << r.ipc << ' ' << r.cycles << ' ' << r.instrs << ' '
+       << r.misses << ' ' << r.ipm << ' ' << r.cpm;
+    return os.str();
+}
+
+bool
+decodeStPayload(const std::string &payload, StRunResult &r)
+{
+    std::istringstream is(payload);
+    StRunResult out;
+    is >> out.ipc >> out.cycles >> out.instrs >> out.misses >>
+        out.ipm >> out.cpm;
+    if (!is)
+        return false;
+    std::string trailing;
+    if (is >> trailing)
+        return false;
+    r = std::move(out);
+    return true;
+}
+
+std::string
+encodeSoePayload(const SoeRunResult &r)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << r.threads.size();
+    for (const auto &t : r.threads) {
+        os << ' ' << t.ipc << ' ' << t.instrs << ' ' << t.misses
+           << ' ' << t.runCycles;
+    }
+    os << ' ' << r.ipcTotal << ' ' << r.cycles << ' '
+       << r.switchesMiss << ' ' << r.switchesForced << ' '
+       << r.switchesQuota << ' ' << (r.timedOut ? 1 : 0);
+    return os.str();
+}
+
+bool
+decodeSoePayload(const std::string &payload, SoeRunResult &r)
+{
+    std::istringstream is(payload);
+    SoeRunResult out;
+    std::size_t numThreads = 0;
+    is >> numThreads;
+    if (!is || numThreads == 0 || numThreads > 64)
+        return false;
+    out.threads.resize(numThreads);
+    for (auto &t : out.threads)
+        is >> t.ipc >> t.instrs >> t.misses >> t.runCycles;
+    int timedOut = 0;
+    is >> out.ipcTotal >> out.cycles >> out.switchesMiss >>
+        out.switchesForced >> out.switchesQuota >> timedOut;
+    if (!is)
+        return false;
+    std::string trailing;
+    if (is >> trailing)
+        return false;
+    out.timedOut = timedOut != 0;
+    r = std::move(out);
+    return true;
 }
 
 } // namespace harness

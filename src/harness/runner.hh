@@ -93,6 +93,18 @@ struct SoeRunResult
     bool timedOut = false;
 };
 
+/**
+ * Serialize/parse the result fields the sweep journal records
+ * (space-separated, 17 significant digits so doubles round-trip
+ * bit-exactly; a resumed campaign must aggregate byte-identically
+ * to an uninterrupted one). Decoders return false on malformed
+ * payloads so callers can raise a typed CheckpointError.
+ */
+std::string encodeStPayload(const StRunResult &r);
+bool decodeStPayload(const std::string &payload, StRunResult &r);
+std::string encodeSoePayload(const SoeRunResult &r);
+bool decodeSoePayload(const std::string &payload, SoeRunResult &r);
+
 class Runner
 {
   public:

@@ -1,11 +1,15 @@
 #include "harness/sweep.hh"
 
+#include <algorithm>
 #include <fstream>
 #include <iomanip>
+#include <sstream>
 
 #include "core/metrics.hh"
+#include "sim/errors.hh"
 #include "sim/logging.hh"
 #include "sim/random.hh"
+#include "soe/policies.hh"
 
 namespace soefair
 {
@@ -172,25 +176,62 @@ loadPairResults(const std::string &path, const std::string &key,
     return true;
 }
 
+namespace
+{
+
 void
-writePairResultsCsv(std::ostream &os,
-                    const std::vector<PairResult> &results)
+writeCsvHeader(std::ostream &os)
 {
     os << "pair,F,ipcST_A,ipcST_B,ipcA,ipcB,ipcTotal,fairness,"
        << "speedupOverST,cycles,switchesMiss,switchesForced,"
        << "switchesQuota\n";
     os << std::setprecision(6);
+}
+
+void
+writeCsvRow(std::ostream &os, const PairResult &pr,
+            const LevelResult &l)
+{
+    os << pr.label() << ',' << l.targetF << ',' << pr.stA.ipc << ','
+       << pr.stB.ipc << ',' << l.run.threads[0].ipc << ','
+       << l.run.threads[1].ipc << ',' << l.run.ipcTotal << ','
+       << l.fairness << ',' << l.speedupOverSt << ',' << l.run.cycles
+       << ',' << l.run.switchesMiss << ',' << l.run.switchesForced
+       << ',' << l.run.switchesQuota << "\n";
+}
+
+} // namespace
+
+void
+writePairResultsCsv(std::ostream &os,
+                    const std::vector<PairResult> &results)
+{
+    writeCsvHeader(os);
     for (const auto &pr : results) {
-        for (const auto &l : pr.levels) {
-            os << pr.label() << ',' << l.targetF << ',' << pr.stA.ipc
-               << ',' << pr.stB.ipc << ',' << l.run.threads[0].ipc
-               << ',' << l.run.threads[1].ipc << ',' << l.run.ipcTotal
-               << ',' << l.fairness << ',' << l.speedupOverSt << ','
-               << l.run.cycles << ',' << l.run.switchesMiss << ','
-               << l.run.switchesForced << ',' << l.run.switchesQuota
-               << "\n";
-        }
+        for (const auto &l : pr.levels)
+            writeCsvRow(os, pr, l);
     }
+}
+
+void
+writeCampaignCsv(std::ostream &os, const CampaignResult &agg)
+{
+    writeCsvHeader(os);
+    for (const auto &pr : agg.results) {
+        for (const auto &l : pr.levels)
+            writeCsvRow(os, pr, l);
+    }
+    for (const auto &m : agg.missing)
+        os << m.marker() << "\n";
+}
+
+int
+CampaignResult::exitCode() const
+{
+    if (complete())
+        return 0;
+    return results.empty() ? exitCampaignFailed
+                           : exitCampaignPartial;
 }
 
 std::vector<PairResult>
@@ -203,6 +244,292 @@ EvaluationSweep::runEvaluation(std::ostream *progress)
         results.push_back(runPair(a, b, standardLevels(), progress));
     }
     return results;
+}
+
+namespace
+{
+
+/** Seeds of a pair's two threads (same rule as runPair). */
+std::pair<std::uint64_t, std::uint64_t>
+pairSeeds(const std::string &a, const std::string &b)
+{
+    return {pairSeed(0), a == b ? pairSeed(1) : pairSeed(0)};
+}
+
+/** Jittered reseeding: retries of a transiently-failing job run at
+ *  a seed derived from the attempt number, so a deterministic
+ *  livelock at the base seed still has a chance to complete. */
+std::uint64_t
+attemptSeed(std::uint64_t seed, unsigned attempt)
+{
+    return attempt <= 1 ? seed : deriveSeed(seed, 1000 + attempt);
+}
+
+std::uint64_t
+fnv1a64(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::string
+failureReason(const JobOutcome &o)
+{
+    return o.failClass + " after " + std::to_string(o.attempts) +
+           " attempt(s)";
+}
+
+} // namespace
+
+SweepCampaign::SweepCampaign(
+    const MachineConfig &machine, const RunConfig &run_config,
+    std::vector<std::pair<std::string, std::string>> pairs,
+    std::vector<double> f_levels)
+    : mc(machine), rc(run_config), pairList(std::move(pairs)),
+      fLevels(std::move(f_levels))
+{
+    mc.validate();
+}
+
+void
+SweepCampaign::setAttemptHook(
+    std::function<void(const std::string &, unsigned)> hook)
+{
+    attemptHook = std::move(hook);
+}
+
+std::string
+SweepCampaign::levelLabel(double f)
+{
+    std::ostringstream os;
+    os << f;
+    return os.str();
+}
+
+std::string
+SweepCampaign::stJobId(const std::string &bench, std::uint64_t seed)
+{
+    return "st:" + bench + ":" + std::to_string(seed);
+}
+
+std::string
+SweepCampaign::soeJobId(const std::string &bench_a,
+                        const std::string &bench_b, double f)
+{
+    return "soe:" + bench_a + ":" + bench_b + ":F=" + levelLabel(f);
+}
+
+std::vector<SweepCampaign::StJob>
+SweepCampaign::stJobList() const
+{
+    std::vector<StJob> out;
+    auto add = [&](const std::string &bench, std::uint64_t seed) {
+        for (const auto &j : out) {
+            if (j.bench == bench && j.seed == seed)
+                return;
+        }
+        out.push_back({bench, seed});
+    };
+    for (const auto &[a, b] : pairList) {
+        const auto [seedA, seedB] = pairSeeds(a, b);
+        add(a, seedA);
+        add(b, seedB);
+    }
+    return out;
+}
+
+std::string
+SweepCampaign::journalKey() const
+{
+    std::ostringstream machineText;
+    mc.print(machineText);
+    std::ostringstream os;
+    os << "sweep-campaign-v1 machine=" << std::hex
+       << fnv1a64(machineText.str()) << std::dec
+       << " measure=" << rc.measureInstrs
+       << " warm=" << rc.warmupInstrs
+       << " twarm=" << rc.timingWarmInstrs
+       << " maxcyc=" << rc.maxCycles << " pairs=";
+    for (const auto &[a, b] : pairList)
+        os << a << ":" << b << "|";
+    os << " levels=";
+    os.precision(17);
+    for (double f : fLevels)
+        os << f << ",";
+    return os.str();
+}
+
+std::vector<SupervisorJob>
+SweepCampaign::jobs() const
+{
+    std::vector<SupervisorJob> out;
+    const auto hook = attemptHook;
+
+    for (const auto &st : stJobList()) {
+        SupervisorJob j;
+        j.id = stJobId(st.bench, st.seed);
+        j.run = [mc = mc, rc = rc, st, hook,
+                 id = j.id](unsigned attempt) {
+            if (hook)
+                hook(id, attempt);
+            Runner runner(mc);
+            StRunResult r = runner.runSingleThread(
+                ThreadSpec::benchmark(
+                    st.bench, attemptSeed(st.seed, attempt)),
+                rc);
+            return encodeStPayload(r);
+        };
+        out.push_back(std::move(j));
+    }
+
+    for (const auto &[a, b] : pairList) {
+        const auto [seedA, seedB] = pairSeeds(a, b);
+        for (double f : fLevels) {
+            SupervisorJob j;
+            j.id = soeJobId(a, b, f);
+            j.run = [mc = mc, rc = rc, a = a, b = b, seedA, seedB, f,
+                     hook, id = j.id](unsigned attempt) {
+                if (hook)
+                    hook(id, attempt);
+                Runner runner(mc);
+                const std::vector<ThreadSpec> specs = {
+                    ThreadSpec::benchmark(
+                        a, attemptSeed(seedA, attempt)),
+                    ThreadSpec::benchmark(
+                        b, attemptSeed(seedB, attempt)),
+                };
+                SoeRunResult r;
+                if (f <= 0.0) {
+                    soe::MissOnlyPolicy policy;
+                    r = runner.runSoe(specs, policy, rc);
+                } else {
+                    soe::FairnessPolicy policy(
+                        f, mc.soe.missLatency, 2);
+                    r = runner.runSoe(specs, policy, rc);
+                }
+                return encodeSoePayload(r);
+            };
+            out.push_back(std::move(j));
+        }
+    }
+    return out;
+}
+
+std::set<std::string>
+SweepCampaign::jobIds() const
+{
+    std::set<std::string> ids;
+    for (const auto &st : stJobList())
+        ids.insert(stJobId(st.bench, st.seed));
+    for (const auto &[a, b] : pairList) {
+        for (double f : fLevels)
+            ids.insert(soeJobId(a, b, f));
+    }
+    return ids;
+}
+
+CampaignResult
+SweepCampaign::aggregate(
+    const std::vector<JobOutcome> &outcomes) const
+{
+    std::map<std::string, const JobOutcome *> byId;
+    for (const auto &o : outcomes)
+        byId[o.id] = &o;
+    auto find = [&](const std::string &id) -> const JobOutcome * {
+        auto it = byId.find(id);
+        return it == byId.end() ? nullptr : it->second;
+    };
+
+    CampaignResult agg;
+    for (const auto &[a, b] : pairList) {
+        const auto [seedA, seedB] = pairSeeds(a, b);
+        PairResult pr;
+        pr.nameA = a;
+        pr.nameB = b;
+
+        bool stOk = true;
+        auto loadSt = [&](const std::string &bench,
+                          std::uint64_t seed, StRunResult &dst) {
+            const JobOutcome *o = find(stJobId(bench, seed));
+            if (!o || !o->done) {
+                agg.missing.push_back(
+                    {pr.label(), "ST:" + bench,
+                     o ? failureReason(*o) : "job not scheduled"});
+                stOk = false;
+                return;
+            }
+            if (!decodeStPayload(o->payload, dst)) {
+                raiseError<CheckpointError>(
+                    "corrupt journal payload for job '", o->id,
+                    "': '", o->payload, "'");
+            }
+        };
+        loadSt(a, seedA, pr.stA);
+        loadSt(b, seedB, pr.stB);
+
+        for (double f : fLevels) {
+            const JobOutcome *o = find(soeJobId(a, b, f));
+            if (!o || !o->done) {
+                agg.missing.push_back(
+                    {pr.label(), "F=" + levelLabel(f),
+                     o ? failureReason(*o) : "job not scheduled"});
+                continue;
+            }
+            if (!stOk) {
+                // The SOE run completed but its speedups need the
+                // single-thread baselines: still a visible gap.
+                agg.missing.push_back({pr.label(),
+                                       "F=" + levelLabel(f),
+                                       "baseline missing"});
+                continue;
+            }
+            LevelResult lr;
+            lr.targetF = f;
+            if (!decodeSoePayload(o->payload, lr.run) ||
+                lr.run.threads.size() != 2) {
+                raiseError<CheckpointError>(
+                    "corrupt journal payload for job '", o->id,
+                    "': '", o->payload, "'");
+            }
+            lr.speedups = {lr.run.threads[0].ipc / pr.stA.ipc,
+                           lr.run.threads[1].ipc / pr.stB.ipc};
+            lr.fairness = core::fairnessOfSpeedups(lr.speedups);
+            const double stMean = 0.5 * (pr.stA.ipc + pr.stB.ipc);
+            lr.speedupOverSt = lr.run.ipcTotal / stMean;
+            pr.levels.push_back(std::move(lr));
+        }
+        if (stOk && !pr.levels.empty())
+            agg.results.push_back(std::move(pr));
+    }
+    return agg;
+}
+
+CampaignResult
+SweepCampaign::run(const SupervisorConfig &scfg,
+                   const std::string &journal_path,
+                   bool resume) const
+{
+    const auto jobList = jobs();
+    JournalWriter journal;
+    JournalState prior;
+    const JournalState *priorPtr = nullptr;
+    if (resume) {
+        const auto ids = jobIds();
+        prior = loadJournal(journal_path, journalKey(),
+                            /*tolerate_torn_tail=*/true, &ids);
+        journal.openAppend(journal_path);
+        priorPtr = &prior;
+    } else {
+        journal.create(journal_path, journalKey());
+    }
+    SweepSupervisor supervisor(scfg);
+    auto outcomes = supervisor.run(jobList, &journal, priorPtr);
+    journal.close();
+    return aggregate(outcomes);
 }
 
 } // namespace harness

@@ -9,12 +9,15 @@
 #ifndef SOEFAIR_HARNESS_SWEEP_HH
 #define SOEFAIR_HARNESS_SWEEP_HH
 
+#include <functional>
 #include <map>
 #include <ostream>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "harness/runner.hh"
+#include "harness/supervisor.hh"
 
 namespace soefair
 {
@@ -104,6 +107,116 @@ bool loadPairResults(const std::string &path, const std::string &key,
 /** Write the per-level results as CSV (machine-readable sweeps). */
 void writePairResultsCsv(std::ostream &os,
                          const std::vector<PairResult> &results);
+
+/** An evaluation cell the campaign could not produce. */
+struct MissingCell
+{
+    std::string pair;   ///< "a:b" label of the owning pair
+    std::string what;   ///< "ST:<bench>" or "F=<level>"
+    std::string reason; ///< e.g. "watchdog after 3 attempt(s)"
+
+    /** The explicit gap marker emitted in CSV/table output. */
+    std::string marker() const
+    {
+        return "MISSING(" + pair + "," + what + "," + reason + ")";
+    }
+};
+
+/**
+ * Outcome of a supervised campaign: every completed cell, assembled
+ * into PairResults (levels may be sparse; a pair whose baselines
+ * failed is omitted entirely), plus an explicit entry for every gap.
+ */
+struct CampaignResult
+{
+    std::vector<PairResult> results;
+    std::vector<MissingCell> missing;
+
+    bool complete() const { return missing.empty(); }
+    /** 0 complete, 20 partial, 21 when nothing completed. */
+    int exitCode() const;
+};
+
+/**
+ * Write campaign results as CSV: the usual rows for completed cells
+ * followed by one `MISSING(pair,cell,reason)` line per gap, so
+ * partial campaigns degrade visibly instead of silently dropping
+ * rows. Complete campaigns produce byte-identical output to
+ * writePairResultsCsv.
+ */
+void writeCampaignCsv(std::ostream &os, const CampaignResult &agg);
+
+/**
+ * The paper's evaluation sweep decomposed into independent,
+ * crash-isolated jobs for the SweepSupervisor: one job per unique
+ * single-thread baseline (bench, seed) — shared by every enforcement
+ * level and pair that needs it — and one per pair x level. Job
+ * results round-trip through the write-ahead journal, so a resumed
+ * campaign aggregates byte-identically to an uninterrupted one.
+ */
+class SweepCampaign
+{
+  public:
+    SweepCampaign(const MachineConfig &machine, const RunConfig &rc,
+                  std::vector<std::pair<std::string, std::string>>
+                      pairs,
+                  std::vector<double> f_levels);
+
+    /** Configuration fingerprint stored in the journal header; a
+     *  resume against a differing key raises CheckpointError. */
+    std::string journalKey() const;
+
+    /** The campaign's jobs in deterministic order (baselines
+     *  first, then pair x level). */
+    std::vector<SupervisorJob> jobs() const;
+
+    /** Every valid job id (journal validation on resume). */
+    std::set<std::string> jobIds() const;
+
+    /** Assemble results from supervised outcomes, recording a
+     *  MissingCell for every cell that did not complete. */
+    CampaignResult aggregate(
+        const std::vector<JobOutcome> &outcomes) const;
+
+    /**
+     * Convenience wrapper: build the jobs, open/create the journal
+     * at `journal_path` (resume appends; otherwise the file is
+     * recreated), supervise, aggregate.
+     */
+    CampaignResult run(const SupervisorConfig &scfg,
+                       const std::string &journal_path,
+                       bool resume) const;
+
+    /**
+     * Test hook, invoked in the forked child at the start of every
+     * attempt. The fault-injection scenarios use it to hang, kill
+     * or typed-fail specific jobs.
+     */
+    void setAttemptHook(
+        std::function<void(const std::string &job_id,
+                           unsigned attempt)> hook);
+
+    /** Deterministic label for an enforcement level ("0.25"). */
+    static std::string levelLabel(double f);
+    static std::string stJobId(const std::string &bench,
+                               std::uint64_t seed);
+    static std::string soeJobId(const std::string &bench_a,
+                                const std::string &bench_b, double f);
+
+  private:
+    struct StJob
+    {
+        std::string bench;
+        std::uint64_t seed = 0;
+    };
+    std::vector<StJob> stJobList() const;
+
+    MachineConfig mc;
+    RunConfig rc;
+    std::vector<std::pair<std::string, std::string>> pairList;
+    std::vector<double> fLevels;
+    std::function<void(const std::string &, unsigned)> attemptHook;
+};
 
 } // namespace harness
 } // namespace soefair

@@ -22,7 +22,18 @@ TextTable::addRow(std::vector<std::string> cells)
     soefair_assert(cells.size() == head.size(),
                    "row has ", cells.size(), " cells, expected ",
                    head.size());
-    rows.push_back(std::move(cells));
+    Row r;
+    r.cells = std::move(cells);
+    rows.push_back(std::move(r));
+}
+
+void
+TextTable::addSpanRow(std::string text)
+{
+    Row r;
+    r.span = true;
+    r.text = std::move(text);
+    rows.push_back(std::move(r));
 }
 
 std::string
@@ -40,8 +51,10 @@ TextTable::print(std::ostream &os) const
     for (std::size_t c = 0; c < head.size(); ++c)
         width[c] = head[c].size();
     for (const auto &row : rows) {
-        for (std::size_t c = 0; c < row.size(); ++c)
-            width[c] = std::max(width[c], row[c].size());
+        if (row.span)
+            continue;
+        for (std::size_t c = 0; c < row.cells.size(); ++c)
+            width[c] = std::max(width[c], row.cells[c].size());
     }
 
     auto emit = [&](const std::vector<std::string> &row) {
@@ -60,8 +73,12 @@ TextTable::print(std::ostream &os) const
     for (std::size_t c = 0; c < head.size(); ++c)
         total += width[c] + (c ? 2 : 0);
     os << std::string(total, '-') << "\n";
-    for (const auto &row : rows)
-        emit(row);
+    for (const auto &row : rows) {
+        if (row.span)
+            os << row.text << "\n";
+        else
+            emit(row.cells);
+    }
 }
 
 } // namespace harness

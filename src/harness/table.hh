@@ -27,14 +27,27 @@ class TextTable
     /** Add a row; must have as many cells as the header. */
     void addRow(std::vector<std::string> cells);
 
+    /**
+     * Add a full-width row printed verbatim (no column layout).
+     * The evaluation tables use this for MISSING(...) gap markers
+     * so partial campaigns stay visible in figure output.
+     */
+    void addSpanRow(std::string text);
+
     /** Format a double with the given precision. */
     static std::string num(double v, int precision = 3);
 
     void print(std::ostream &os) const;
 
   private:
+    struct Row
+    {
+        bool span = false;
+        std::vector<std::string> cells;
+        std::string text;
+    };
     std::vector<std::string> head;
-    std::vector<std::vector<std::string>> rows;
+    std::vector<Row> rows;
 };
 
 } // namespace harness

@@ -20,6 +20,23 @@ SimError::exitCode() const
 }
 
 const char *
+simErrorKindNameForExit(int exit_code)
+{
+    switch (exit_code) {
+      case InputError::code:
+        return "input";
+      case EstimatorError::code:
+        return "estimator";
+      case WatchdogTimeout::code:
+        return "watchdog";
+      case CheckpointError::code:
+        return "checkpoint";
+      default:
+        return nullptr;
+    }
+}
+
+const char *
 SimError::kindName() const
 {
     switch (errKind) {

@@ -105,6 +105,15 @@ class CheckpointError : public SimError
 };
 
 /**
+ * Map a process exit code back to the SimError class name that
+ * produces it ("input", "estimator", "watchdog", "checkpoint"), or
+ * nullptr when the code belongs to no SimError class. The sweep
+ * supervisor uses this to classify dead child processes without
+ * parsing their output.
+ */
+const char *simErrorKindNameForExit(int exit_code);
+
+/**
  * Format a message, print it (same convention as fatal()) and throw
  * the requested SimError subclass:
  *

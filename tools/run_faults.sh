@@ -115,6 +115,79 @@ else
     echo "ok: smoke SOE run is NaN-free"
 fi
 
+# --- 5. sweep supervisor fault scenarios ----------------------------
+#
+# Both scenarios run a tiny two-cell campaign (gcc:eon at F=0,1/2 at
+# SOEFAIR_SCALE=0.02) so each job takes well under a second
+# unsanitized and ~5-6 s under ASan. The deadline must stay well
+# above a healthy job's runtime -- a too-tight deadline kills real
+# work, not just the injected hang -- so the hang scenario uses 30 s
+# (4-5x a healthy ASan job) and everything else 120 s.
+
+SWEEP_ENV="env SOEFAIR_SCALE=0.02"
+SWEEP_ARGS="sweep --pairs gcc:eon --levels 0,0.5 --retries 2 --backoff 0.1"
+SWEEP_DEADLINE=120
+
+# Uninterrupted reference campaign.
+ref="$SCRATCH/sweep_ref.csv"
+if ! timeout "$TIMEOUT_S" $SWEEP_ENV "$CLI" $SWEEP_ARGS \
+        --deadline "$SWEEP_DEADLINE" \
+        --journal "$SCRATCH/ref.journal" --out "$ref" \
+        >/dev/null 2>&1; then
+    fail "supervisor: reference sweep failed"
+else
+    echo "ok: supervisor reference sweep complete"
+fi
+
+# 5a. Busy-hang past the deadline: the injected job must be killed,
+# retried, then recorded as MISSING; the campaign still finishes the
+# other cells and exits with the partial-results code. A --resume
+# without the injection completes it, byte-identical to the reference.
+hangcsv="$SCRATCH/sweep_hang.csv"
+hj="$SCRATCH/hang.journal"
+timeout "$TIMEOUT_S" $SWEEP_ENV "$CLI" $SWEEP_ARGS \
+    --deadline 30 --inject 'soe:gcc:eon:F=0.5@hang@99' \
+    --journal "$hj" --out "$hangcsv" >/dev/null 2>&1
+got=$?
+if [ "$got" -ne 20 ]; then
+    fail "supervisor hang: exit $got, expected 20 (partial)"
+elif ! grep -q 'MISSING(gcc:eon,F=0.5,deadline' "$hangcsv"; then
+    fail "supervisor hang: no MISSING(deadline) marker in CSV"
+    sed 's/^/    /' "$hangcsv" >&2
+else
+    echo "ok: supervisor hang scenario is partial with MISSING marker"
+fi
+hangres="$SCRATCH/sweep_hang_resumed.csv"
+if ! timeout "$TIMEOUT_S" $SWEEP_ENV "$CLI" $SWEEP_ARGS \
+        --deadline "$SWEEP_DEADLINE" \
+        --resume "$hj" --out "$hangres" >/dev/null 2>&1; then
+    fail "supervisor hang: --resume exited nonzero"
+elif ! cmp -s "$ref" "$hangres"; then
+    fail "supervisor hang: resumed CSV differs from reference"
+    diff "$ref" "$hangres" | sed 's/^/    /' >&2
+else
+    echo "ok: supervisor hang resume matches reference byte-for-byte"
+fi
+
+# 5b. Kill mid-journal-append: truncate the finished journal so its
+# last record is torn (as a SIGKILL between write() and the newline
+# would leave it). --resume must drop the torn tail, re-run only that
+# job, and reproduce the reference CSV exactly.
+tj="$SCRATCH/torn.journal"
+cp "$SCRATCH/ref.journal" "$tj"
+truncate -s -9 "$tj"
+tornres="$SCRATCH/sweep_torn.csv"
+if ! timeout "$TIMEOUT_S" $SWEEP_ENV "$CLI" $SWEEP_ARGS \
+        --deadline "$SWEEP_DEADLINE" \
+        --resume "$tj" --out "$tornres" >/dev/null 2>&1; then
+    fail "supervisor torn-journal: --resume exited nonzero"
+elif ! cmp -s "$ref" "$tornres"; then
+    fail "supervisor torn-journal: resumed CSV differs from reference"
+    diff "$ref" "$tornres" | sed 's/^/    /' >&2
+else
+    echo "ok: supervisor torn-journal resume matches reference"
+fi
+
 # --------------------------------------------------------------------
 
 if [ "$failures" -ne 0 ]; then

@@ -14,9 +14,14 @@
  *   record-trace <bench>         record a workload to a trace file
  *                                (--out file, --instrs N, --seed S)
  *   sweep                        run benchmark pairs across F levels
+ *                                under the crash-isolated supervisor
  *                                and emit CSV (--pairs a:b,c:d
  *                                defaults to the paper's 16; --out
- *                                file defaults to stdout)
+ *                                file defaults to stdout). Exits 0
+ *                                when every cell completed, 20 when
+ *                                results are partial (gaps appear as
+ *                                MISSING(...) lines), 21 when no
+ *                                cell completed.
  *   analytic                     evaluate the analytical model
  *   faults [scenario|all]        fault-injection harness: run one
  *                                scenario (or all) and report
@@ -31,6 +36,22 @@
  *   --instrs N        measured instructions per thread
  *   --warmup N        functional warmup instructions per thread
  *   --scale X         scale all run lengths (like SOEFAIR_SCALE)
+ *
+ * sweep options (see docs/robustness.md for the supervisor):
+ *   --levels a,b,..   enforcement levels (default 0,0.25,0.5,1)
+ *   --journal F       write-ahead journal path (default
+ *                     soefair_sweep.journal; recreated per run)
+ *   --resume F        resume from an existing journal: completed
+ *                     jobs are replayed, the rest re-run
+ *   --jobs N          parallel forked job slots (default 1)
+ *   --deadline S      per-attempt wall-clock deadline in seconds;
+ *                     expired jobs are SIGKILLed (default 600)
+ *   --retries N       max attempts per transiently-failing job (3)
+ *   --backoff S       base retry backoff in seconds (default 0.25)
+ *   --inject SPEC     test hook: job@action[@maxAttempt] provokes
+ *                     `action` (hang | kill | input | watchdog) in
+ *                     the named job's child for attempts up to
+ *                     maxAttempt (default: all); repeatable
  *
  * run-soe options:
  *   --policy P        miss-only | fairness | timeshare | quota
@@ -51,6 +72,8 @@
  *   --swlat N         model Switch_lat (25)
  */
 
+#include <csignal>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -277,6 +300,66 @@ cmdRecordTrace(const CliOptions &opts)
     return 0;
 }
 
+/** One --inject spec: provoke `action` in `job`'s forked child for
+ *  attempts up to `maxAttempt` (the supervisor test hook). */
+struct InjectSpec
+{
+    std::string job;
+    std::string action;
+    unsigned maxAttempt = ~0u;
+};
+
+bool
+parseInjects(const CliOptions &opts, std::vector<InjectSpec> &out)
+{
+    for (const auto &spec : opts.getStrings("inject")) {
+        std::vector<std::string> parts;
+        std::stringstream ss(spec);
+        std::string item;
+        while (std::getline(ss, item, '@'))
+            parts.push_back(item);
+        if (parts.size() < 2 || parts.size() > 3) {
+            std::cerr << "--inject expects job@action[@maxAttempt], "
+                      << "got '" << spec << "'\n";
+            return false;
+        }
+        InjectSpec is;
+        is.job = parts[0];
+        is.action = parts[1];
+        if (is.action != "hang" && is.action != "kill" &&
+            is.action != "input" && is.action != "watchdog") {
+            std::cerr << "--inject action must be hang | kill | "
+                      << "input | watchdog, got '" << is.action
+                      << "'\n";
+            return false;
+        }
+        if (parts.size() == 3)
+            is.maxAttempt = unsigned(std::atoi(parts[2].c_str()));
+        out.push_back(std::move(is));
+    }
+    return true;
+}
+
+/** Runs inside the forked job child (the supervisor attempt hook). */
+void
+provokeInjectedFault(const InjectSpec &is)
+{
+    if (is.action == "hang") {
+        // Busy-hang: only the supervisor's deadline SIGKILL ends it.
+        volatile std::uint64_t spin = 0;
+        for (;;)
+            spin = spin + 1;
+    } else if (is.action == "kill") {
+        raise(SIGKILL);
+    } else if (is.action == "input") {
+        raiseError<InputError>("injected input fault in job '",
+                               is.job, "'");
+    } else if (is.action == "watchdog") {
+        raiseError<WatchdogTimeout>("injected watchdog fault in ",
+                                    "job '", is.job, "'");
+    }
+}
+
 int
 cmdSweep(const CliOptions &opts)
 {
@@ -298,29 +381,67 @@ cmdSweep(const CliOptions &opts)
         }
     }
 
-    EvaluationSweep sweep(MachineConfig::benchDefault(),
-                          runConfigFrom(opts));
-    std::vector<PairResult> results;
-    for (const auto &[a, b] : pairs) {
-        std::cerr << "[sweep] " << a << ":" << b << "\n";
-        results.push_back(sweep.runPair(
-            a, b, EvaluationSweep::standardLevels(), &std::cerr));
+    std::vector<double> fLevels = EvaluationSweep::standardLevels();
+    if (opts.hasOption("levels"))
+        fLevels = parseList(opts.getString("levels", ""));
+    if (fLevels.empty()) {
+        std::cerr << "--levels expects a,b,...\n";
+        return 2;
     }
+
+    std::vector<InjectSpec> injects;
+    if (!parseInjects(opts, injects))
+        return 2;
+
+    SweepCampaign campaign(MachineConfig::benchDefault(),
+                           runConfigFrom(opts), pairs, fLevels);
+    if (!injects.empty()) {
+        campaign.setAttemptHook(
+            [injects](const std::string &job, unsigned attempt) {
+                for (const auto &is : injects) {
+                    if (is.job == job && attempt <= is.maxAttempt)
+                        provokeInjectedFault(is);
+                }
+            });
+    }
+
+    SupervisorConfig scfg;
+    scfg.deadlineSeconds = opts.getDouble("deadline", 600.0);
+    scfg.maxAttempts = unsigned(opts.getUint("retries", 3));
+    scfg.backoffBaseSeconds = opts.getDouble("backoff", 0.25);
+    scfg.jobSlots = unsigned(opts.getUint("jobs", 1));
+    scfg.progress = &std::cerr;
+
+    const bool resume = opts.hasOption("resume");
+    const std::string journal = resume
+        ? opts.getString("resume", "")
+        : opts.getString("journal", "soefair_sweep.journal");
+
+    CampaignResult agg = campaign.run(scfg, journal, resume);
 
     const std::string out = opts.getString("out", "");
     if (out.empty()) {
-        writePairResultsCsv(std::cout, results);
+        writeCampaignCsv(std::cout, agg);
     } else {
         std::ofstream os(out);
         if (!os) {
             std::cerr << "cannot write '" << out << "'\n";
             return 1;
         }
-        writePairResultsCsv(os, results);
-        std::cout << "wrote " << results.size() << " pairs to "
+        writeCampaignCsv(os, agg);
+        std::cout << "wrote " << agg.results.size() << " pairs to "
                   << out << "\n";
     }
-    return 0;
+
+    if (!agg.complete()) {
+        std::cerr << "[sweep] PARTIAL results: " << agg.missing.size()
+                  << " cell(s) missing (journal: " << journal
+                  << "; finish with `sweep --resume " << journal
+                  << "`)\n";
+        for (const auto &m : agg.missing)
+            std::cerr << "[sweep]   " << m.marker() << "\n";
+    }
+    return agg.exitCode();
 }
 
 int
