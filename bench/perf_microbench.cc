@@ -18,6 +18,8 @@
 #include "soe/policies.hh"
 #include "workload/generator.hh"
 
+#include "perf_scenarios.hh"
+
 using namespace soefair;
 
 static void
@@ -122,5 +124,53 @@ BM_SimulatedUopsPerSecond(benchmark::State &state)
     state.SetItemsProcessed(std::int64_t(retired));
 }
 BENCHMARK(BM_SimulatedUopsPerSecond)->Unit(benchmark::kMillisecond);
+
+/**
+ * End-to-end SOE scenarios from perf_scenarios: the low/high miss
+ * pairs bracket the realistic envelope, and the miss-heavy
+ * fast-forward on/off pair makes the stall-skipping speedup directly
+ * visible in the report (compare their items/sec).
+ */
+static void
+BM_SoeScenario(benchmark::State &state,
+               std::vector<harness::ThreadSpec> specs,
+               bool fast_forward)
+{
+    bench::SoeSim sim(std::move(specs), fast_forward);
+    sim.run(1000); // untimed warm prefix
+    const std::uint64_t before = sim.retiredTotal();
+    for (auto _ : state)
+        sim.run(1000);
+    state.SetItemsProcessed(
+        std::int64_t(sim.retiredTotal() - before));
+}
+
+static void
+BM_SoeEndToEndLowMiss(benchmark::State &state)
+{
+    BM_SoeScenario(state, bench::lowMissPair(), true);
+}
+BENCHMARK(BM_SoeEndToEndLowMiss)->Unit(benchmark::kMillisecond);
+
+static void
+BM_SoeEndToEndHighMiss(benchmark::State &state)
+{
+    BM_SoeScenario(state, bench::highMissPair(), true);
+}
+BENCHMARK(BM_SoeEndToEndHighMiss)->Unit(benchmark::kMillisecond);
+
+static void
+BM_MissHeavyFastForwardOn(benchmark::State &state)
+{
+    BM_SoeScenario(state, bench::missHeavySingle(), true);
+}
+BENCHMARK(BM_MissHeavyFastForwardOn)->Unit(benchmark::kMillisecond);
+
+static void
+BM_MissHeavyFastForwardOff(benchmark::State &state)
+{
+    BM_SoeScenario(state, bench::missHeavySingle(), false);
+}
+BENCHMARK(BM_MissHeavyFastForwardOff)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

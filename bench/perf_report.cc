@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Machine-readable performance report: runs the end-to-end scenarios
+ * from perf_scenarios and emits `BENCH_perf.json` — items/sec per
+ * benchmark plus a machine fingerprint — so the repo's perf
+ * trajectory is diffable across commits (tools/bench_compare.py).
+ *
+ * Usage: perf_report [--items N] [--out FILE]
+ *
+ *   --items N   instructions per end-to-end scenario (default
+ *               200000; the miss-heavy pair uses N/10 because its
+ *               ff-off leg simulates ~250 cycles per instruction).
+ *   --out FILE  output path (default BENCH_perf.json).
+ *
+ * Raw items/sec values are only comparable on the same machine and
+ * build type; the derived `ff_speedup_miss_heavy` ratio (fast-forward
+ * on vs off on the serial pointer-chase scenario) is
+ * machine-independent and is the number the ≥5x acceptance gate
+ * checks.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "perf_scenarios.hh"
+
+using namespace soefair;
+using namespace soefair::bench;
+
+namespace
+{
+
+struct NamedResult
+{
+    std::string name;
+    ScenarioResult r;
+};
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out.push_back(c);
+    }
+    return out;
+}
+
+const char *
+osName()
+{
+#if defined(__linux__)
+    return "linux";
+#elif defined(__APPLE__)
+    return "darwin";
+#elif defined(_WIN32)
+    return "windows";
+#else
+    return "unknown";
+#endif
+}
+
+const char *
+archName()
+{
+#if defined(__x86_64__) || defined(_M_X64)
+    return "x86_64";
+#elif defined(__aarch64__)
+    return "aarch64";
+#else
+    return "unknown";
+#endif
+}
+
+const char *
+buildType()
+{
+#ifdef NDEBUG
+    return "release";
+#else
+    return "debug";
+#endif
+}
+
+bool
+auditsEnabled()
+{
+    // Always defined (0 or 1) via sim/invariant.hh, pulled in
+    // through perf_scenarios.hh.
+    return SOEFAIR_AUDIT_ENABLED != 0;
+}
+
+void
+writeReport(std::ostream &os, const std::vector<NamedResult> &results,
+            double ff_speedup, std::uint64_t items)
+{
+    os << "{\n";
+    os << "  \"schema\": 1,\n";
+    os << "  \"suite\": \"soefair-perf\",\n";
+    os << "  \"machine\": {\n";
+    os << "    \"os\": \"" << osName() << "\",\n";
+    os << "    \"arch\": \"" << archName() << "\",\n";
+    os << "    \"cpus\": " << std::thread::hardware_concurrency()
+       << ",\n";
+    os << "    \"compiler\": \"" << jsonEscape(__VERSION__) << "\",\n";
+    os << "    \"build\": \"" << buildType() << "\",\n";
+    os << "    \"audits\": " << (auditsEnabled() ? "true" : "false")
+       << "\n";
+    os << "  },\n";
+    os << "  \"config\": { \"items\": " << items << " },\n";
+    os << "  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const NamedResult &n = results[i];
+        os << "    { \"name\": \"" << n.name << "\", "
+           << "\"items_per_sec\": " << std::uint64_t(n.r.instrsPerSec)
+           << ", \"items\": " << n.r.instrs << ", \"seconds\": "
+           << n.r.seconds << ", \"skipped_frac\": " << n.r.skippedFrac
+           << " }" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+    os << "  \"derived\": { \"ff_speedup_miss_heavy\": " << ff_speedup
+       << " }\n";
+    os << "}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t items = 200 * 1000;
+    std::string outPath = "BENCH_perf.json";
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--items") && i + 1 < argc) {
+            items = std::strtoull(argv[++i], nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+            outPath = argv[++i];
+        } else {
+            std::cerr << "usage: perf_report [--items N] [--out FILE]"
+                      << std::endl;
+            return 2;
+        }
+    }
+    if (items < 10000)
+        items = 10000; // below this the timed windows are all noise
+    const std::uint64_t missItems = items / 10;
+
+    std::vector<NamedResult> results;
+
+    {
+        SoeSim sim(lowMissPair(), true);
+        results.push_back(
+            {"soe_e2e_low_miss", measureScenario(sim, items)});
+    }
+    {
+        SoeSim sim(highMissPair(), true);
+        results.push_back(
+            {"soe_e2e_high_miss", measureScenario(sim, items)});
+    }
+    ScenarioResult on, off;
+    {
+        SoeSim sim(missHeavySingle(), true);
+        on = measureScenario(sim, missItems);
+        results.push_back({"miss_heavy_ff_on", on});
+    }
+    {
+        SoeSim sim(missHeavySingle(), false);
+        off = measureScenario(sim, missItems);
+        results.push_back({"miss_heavy_ff_off", off});
+    }
+    const double speedup = off.instrsPerSec > 0.0
+        ? on.instrsPerSec / off.instrsPerSec : 0.0;
+
+    std::ofstream out(outPath);
+    if (!out) {
+        std::cerr << "perf_report: cannot open " << outPath
+                  << std::endl;
+        return 1;
+    }
+    writeReport(out, results, speedup, items);
+
+    for (const NamedResult &n : results) {
+        std::cout << n.name << ": "
+                  << std::uint64_t(n.r.instrsPerSec)
+                  << " instrs/sec (skipped "
+                  << std::uint64_t(n.r.skippedFrac * 100.0) << "%)"
+                  << std::endl;
+    }
+    std::cout << "ff_speedup_miss_heavy: " << speedup << "x -> "
+              << outPath << std::endl;
+    return 0;
+}

@@ -1,0 +1,111 @@
+#include "perf_scenarios.hh"
+
+#include <chrono>
+
+namespace soefair
+{
+namespace bench
+{
+
+workload::Profile
+missHeavyProfile()
+{
+    workload::Profile p;
+    p.name = "pchase";
+    // Tiny, straight-line code footprint: the I-side must never be
+    // the stall source in this scenario.
+    p.code = {64, 6, 10, 0.30, 0.0};
+    workload::Phase ph;
+    ph.wIntAlu = 0.15;
+    ph.wLoad = 1.0;
+    ph.wStore = 0.0;
+    // Near-total serialization: each load depends on its
+    // predecessor, so misses cannot overlap.
+    ph.depGeoP = 0.85;
+    ph.depNone = 0.02;
+    ph.hotBytes = 4 * 1024;
+    ph.chaseBytes = 256ull * 1024 * 1024;
+    ph.wRegion[unsigned(workload::RegionKind::Hot)] = 0.05;
+    ph.wRegion[unsigned(workload::RegionKind::Stream)] = 0.0;
+    ph.wRegion[unsigned(workload::RegionKind::Strided)] = 0.0;
+    ph.wRegion[unsigned(workload::RegionKind::Chase)] = 1.0;
+    p.phases = {ph};
+    return p;
+}
+
+std::vector<harness::ThreadSpec>
+lowMissPair()
+{
+    return {harness::ThreadSpec::benchmark("gcc", 1),
+            harness::ThreadSpec::benchmark("eon", 2)};
+}
+
+std::vector<harness::ThreadSpec>
+highMissPair()
+{
+    return {harness::ThreadSpec::benchmark("mcf", 1),
+            harness::ThreadSpec::benchmark("swim", 2)};
+}
+
+std::vector<harness::ThreadSpec>
+missHeavySingle()
+{
+    harness::ThreadSpec s;
+    s.profile = missHeavyProfile();
+    s.seed = 1;
+    return {s};
+}
+
+SoeSim::SoeSim(const std::vector<harness::ThreadSpec> &specs,
+               bool fast_forward)
+    : mc(harness::MachineConfig::benchDefault()),
+      sys(mc, specs),
+      eng(mc.soe, pol, unsigned(specs.size()), &sys.stats()),
+      numThreads(specs.size())
+{
+    sys.setFastForward(fast_forward);
+    sys.warmCaches(20 * 1000);
+    sys.start(&eng);
+}
+
+std::uint64_t
+SoeSim::retiredTotal()
+{
+    std::uint64_t n = 0;
+    for (std::size_t t = 0; t < numThreads; ++t)
+        n += sys.core().retired(ThreadID(t));
+    return n;
+}
+
+void
+SoeSim::run(std::uint64_t instrs)
+{
+    const std::uint64_t target = retiredTotal() + instrs;
+    while (retiredTotal() < target)
+        sys.step(1000);
+}
+
+ScenarioResult
+measureScenario(SoeSim &sim, std::uint64_t instrs)
+{
+    sim.run(instrs / 10 + 1000); // untimed warm prefix
+
+    const auto t0 = std::chrono::steady_clock::now();
+    sim.run(instrs);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    ScenarioResult r;
+    r.instrs = instrs;
+    r.seconds = std::chrono::duration<double>(t1 - t0).count();
+    if (r.seconds > 0.0)
+        r.instrsPerSec = double(instrs) / r.seconds;
+    const harness::System &sys = sim.system();
+    if (sys.now() > 0) {
+        r.skippedFrac = double(sys.fastForwardCycles()) /
+                        double(sys.now());
+    }
+    return r;
+}
+
+} // namespace bench
+} // namespace soefair

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Shared end-to-end performance scenarios for the microbench suite
+ * (perf_microbench) and the machine-readable report (perf_report).
+ *
+ * The scenarios bracket the simulator's speed envelope:
+ *
+ *  - low miss:  gcc+eon SOE pair — nearly every cycle does pipeline
+ *    work, so fast-forward has little to skip;
+ *  - high miss: mcf+swim SOE pair — the paper's miss-bound regime,
+ *    where switch-on-event itself hides much of the stall time;
+ *  - miss-heavy: a synthetic serial pointer chase (missHeavyProfile)
+ *    whose IPC is a few thousandths — ~99% of simulated cycles are
+ *    provably quiescent stalls, the case the fast-forward engine
+ *    exists for. Its ff-on/ff-off ratio is the repo's headline
+ *    speedup number and is machine-independent.
+ */
+
+#ifndef SOEFAIR_BENCH_PERF_SCENARIOS_HH
+#define SOEFAIR_BENCH_PERF_SCENARIOS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/machine_config.hh"
+#include "harness/system.hh"
+#include "soe/engine.hh"
+#include "soe/policies.hh"
+#include "workload/profile.hh"
+
+namespace soefair
+{
+namespace bench
+{
+
+/**
+ * Serial pointer-chase profile: almost every instruction is a load
+ * into a 256 MB chase region with near-total dependence on the
+ * previous load, so execution is a chain of back-to-back memory
+ * misses (~Miss_lat cycles apiece) with nothing to overlap.
+ */
+workload::Profile missHeavyProfile();
+
+/** gcc+eon: cache-resident, high-IPC pair (fast-forward worst case). */
+std::vector<harness::ThreadSpec> lowMissPair();
+
+/** mcf+swim: the evaluation's miss-bound pairing. */
+std::vector<harness::ThreadSpec> highMissPair();
+
+/** One thread running missHeavyProfile() under the SOE engine. */
+std::vector<harness::ThreadSpec> missHeavySingle();
+
+/**
+ * A ready-to-step SOE simulation over the bench machine config:
+ * caches warmed, engine attached, threads started. Own one per
+ * scenario; step it via run().
+ */
+class SoeSim
+{
+  public:
+    SoeSim(const std::vector<harness::ThreadSpec> &specs,
+           bool fast_forward);
+
+    /** Step until `instrs` more instructions have retired. */
+    void run(std::uint64_t instrs);
+
+    std::uint64_t retiredTotal();
+
+    harness::System &system() { return sys; }
+
+  private:
+    harness::MachineConfig mc;
+    harness::System sys;
+    soe::MissOnlyPolicy pol;
+    soe::SoeEngine eng;
+    std::size_t numThreads;
+};
+
+/** One timed measurement of a scenario. */
+struct ScenarioResult
+{
+    std::uint64_t instrs = 0;  ///< instructions retired while timed
+    double seconds = 0.0;      ///< wall time of the timed window
+    double instrsPerSec = 0.0;
+    /** Fraction of all simulated cycles covered by fast-forward. */
+    double skippedFrac = 0.0;
+};
+
+/**
+ * Time `instrs` instructions of an already-warmed simulation
+ * (run a short untimed prefix first to keep JIT-ish cold effects —
+ * page faults, branch history — out of the window).
+ */
+ScenarioResult measureScenario(SoeSim &sim, std::uint64_t instrs);
+
+} // namespace bench
+} // namespace soefair
+
+#endif // SOEFAIR_BENCH_PERF_SCENARIOS_HH

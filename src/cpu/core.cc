@@ -71,28 +71,61 @@ Core::retired(ThreadID tid) const
     return retiredCount[std::size_t(tid)];
 }
 
-void
+bool
 Core::tick(Tick now)
 {
     soefair_assert(activeTid != invalidThreadId, "tick before start");
 
-    storeBuf.tick(now);
-    retireStage(now);
+    bool progress = storeBuf.tick(now);
+    progress = retireStage(now) || progress;
 
     if (controller && controller->onCycle(activeTid, now)) {
         ThreadID next = controller->pickNextForced(activeTid, now);
-        if (next != invalidThreadId && next != activeTid)
+        if (next != invalidThreadId && next != activeTid) {
             startSwitch(next, now, SwitchReason::Quota);
+            progress = true;
+        }
     }
 
-    issueStage(now);
-    dispatchStage(now);
-    fetch.tick(now);
+    progress = issueStage(now) || progress;
+    progress = dispatchStage(now) || progress;
+    progress = fetch.tick(now) || progress;
+    return progress;
+}
+
+Tick
+Core::nextWakeTick(Tick now) const
+{
+    Tick wake = std::min(rob.nextCompletionTick(now),
+                         fus.nextFreeTick(now));
+    wake = std::min(wake, fetch.nextWakeTick(now));
+    wake = std::min(wake, storeBuf.nextWakeTick(now));
+    if (controller)
+        wake = std::min(wake, controller->nextWakeTick(activeTid, now));
+    return wake;
 }
 
 void
+Core::creditSkippedCycles(Tick now, std::uint64_t skipped)
+{
+    // Mirror of retireStage()'s per-cycle head-stall accounting: a
+    // quiescent tick leaves the blocked head in place, so every
+    // skipped tick would have taken the same branch. onHeadStall()
+    // needs no replay — repeat calls for the same head seqNum are
+    // deduplicated no-ops, and its first sighting already happened
+    // during the (ticked) detection cycle.
+    if (controller && !rob.empty()) {
+        const DynInst &h = rob.head();
+        if (!h.completedBy(now) && h.issued && h.l2Miss)
+            headMissStallCycles += skipped;
+    }
+    fetch.creditSkippedCycles(now, skipped);
+}
+
+bool
 Core::retireStage(Tick now)
 {
+    bool progress = false;
     unsigned n = 0;
     while (n < cfg.retireWidth && !rob.empty()) {
         DynInst &h = rob.head();
@@ -109,7 +142,7 @@ Core::retireStage(Tick now)
                     h.l2Miss);
                 if (next != invalidThreadId && next != activeTid) {
                     startSwitch(next, now, SwitchReason::MissEvent);
-                    return;
+                    return true;
                 }
             }
             break;
@@ -139,12 +172,13 @@ Core::retireStage(Tick now)
         const bool isPause = h.op.op == isa::OpClass::Pause;
         rob.popHead();
         ++n;
+        progress = true;
 
         if (controller && isPause && controller->onPause(tid, now)) {
             ThreadID next = controller->pickNextForced(tid, now);
             if (next != invalidThreadId && next != tid) {
                 startSwitch(next, now, SwitchReason::Pause);
-                return;
+                return true;
             }
         }
 
@@ -152,10 +186,11 @@ Core::retireStage(Tick now)
             ThreadID next = controller->pickNextForced(tid, now);
             if (next != invalidThreadId && next != tid) {
                 startSwitch(next, now, SwitchReason::Forced);
-                return;
+                return true;
             }
         }
     }
+    return progress;
 }
 
 void
@@ -167,11 +202,12 @@ Core::completeLoadIssue(DynInst *inst, Tick now)
     inst->l1Miss = false;
 }
 
-void
+bool
 Core::issueStage(Tick now)
 {
     unsigned issuedCnt = 0;
     bool anyIssued = false;
+    bool progress = false;
 
     for (DynInst *e : iq) {
         if (issuedCnt >= cfg.issueWidth)
@@ -194,6 +230,9 @@ Core::issueStage(Tick now)
                 if (sbm == StoreBuffer::Match::SameThread) {
                     completeLoadIssue(e, now);
                 } else {
+                    // The lookup mutates cache state/stats even when
+                    // refused: either way this cycle is not skippable.
+                    progress = true;
                     auto res = hier.load(e->tid, e->op.memAddr, now);
                     if (res.retry)
                         continue; // L1D MSHRs full
@@ -229,11 +268,13 @@ Core::issueStage(Tick now)
 
     if (anyIssued)
         iq.compact();
+    return progress || anyIssued;
 }
 
-void
+bool
 Core::dispatchStage(Tick now)
 {
+    bool progress = false;
     for (unsigned n = 0; n < cfg.dispatchWidth; ++n) {
         DynInst *f = fetch.dispatchable(now);
         if (!f)
@@ -259,7 +300,9 @@ Core::dispatchStage(Tick now)
             lq.add();
         if (r.op.isStore())
             sq.push(&r);
+        progress = true;
     }
+    return progress;
 }
 
 void

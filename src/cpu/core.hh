@@ -113,6 +113,22 @@ class SwitchController
     virtual void onSwitchOut(ThreadID tid, Tick now,
                              SwitchReason reason) = 0;
     virtual void onSwitchIn(ThreadID tid, Tick now) = 0;
+
+    /**
+     * Earliest tick strictly after `now` at which the controller may
+     * act on its own (sample boundary, cycle-quota expiry, a blocked
+     * thread turning ready). The fast-forward engine never skips
+     * past this tick, so onCycle() is guaranteed to run at it. The
+     * default keeps controllers cycle-exact by pinning the wake to
+     * the very next tick — i.e. fast-forward is disabled unless a
+     * controller opts in by overriding this.
+     */
+    virtual Tick
+    nextWakeTick(ThreadID tid, Tick now) const
+    {
+        (void)tid;
+        return now + 1;
+    }
 };
 
 class Core
@@ -130,8 +146,34 @@ class Core
     /** Begin execution with thread `first` active. */
     void start(ThreadID first, Tick now);
 
-    /** Advance one cycle. */
-    void tick(Tick now);
+    /**
+     * Advance one cycle.
+     * @return true if the cycle made externally visible progress
+     *         (retire/issue/dispatch/fetch, a store-buffer drain or
+     *         drain attempt, a hierarchy access, a thread switch).
+     *         A false return certifies the machine is quiescent: no
+     *         state other than the per-cycle stall counters (which
+     *         creditSkippedCycles() reproduces) changes until the
+     *         tick reported by nextWakeTick().
+     */
+    bool tick(Tick now);
+
+    /**
+     * Earliest tick strictly after `now` at which a quiescent core
+     * can next change state: the minimum over pending instruction
+     * completions, functional-unit frees, front-end restarts,
+     * store-buffer drains and the controller's own schedule. Only
+     * meaningful right after a tick() that returned false.
+     */
+    Tick nextWakeTick(Tick now) const;
+
+    /**
+     * Bulk-account `skipped` fast-forwarded cycles following a
+     * quiescent tick at `now`: replays the per-cycle stall counters
+     * (ROB-head miss stall, fetch stalls) the skipped ticks would
+     * have incremented one by one.
+     */
+    void creditSkippedCycles(Tick now, std::uint64_t skipped);
 
     ThreadID activeThread() const { return activeTid; }
     std::uint64_t retired(ThreadID tid) const;
@@ -163,9 +205,9 @@ class Core
     statistics::Counter headMissStallCycles;
 
   private:
-    void retireStage(Tick now);
-    void issueStage(Tick now);
-    void dispatchStage(Tick now);
+    bool retireStage(Tick now);
+    bool issueStage(Tick now);
+    bool dispatchStage(Tick now);
     void startSwitch(ThreadID next, Tick now, SwitchReason reason);
     void completeLoadIssue(DynInst *inst, Tick now);
 

@@ -2,11 +2,11 @@
  * @file
  * Dynamic (in-flight) instruction record.
  *
- * DynInsts live in the ROB deque from dispatch to retirement; the
- * rename table, issue queue and load/store queues hold pointers into
- * that deque (std::deque guarantees reference stability for
- * push_back/pop_front, and a full-pipeline squash drops every
- * reference before entries are destroyed).
+ * DynInsts live in the ROB's InstRing from dispatch to retirement;
+ * the rename table, issue queue and load/store queues hold pointers
+ * into that ring (slots are preallocated and stable between push and
+ * pop, and a full-pipeline squash drops every reference before
+ * entries are recycled).
  */
 
 #ifndef SOEFAIR_CPU_DYN_INST_HH

@@ -21,7 +21,8 @@ FetchUnit::FetchUnit(const FetchConfig &config,
                         "cycles fetch waited on mispredicted branches"),
       cfg(config),
       hier(hierarchy),
-      bpred(branch_predictor)
+      bpred(branch_predictor),
+      buffer(config.bufferEntries)
 {
     soefair_assert(cfg.width > 0, "fetch width must be positive");
     soefair_assert(cfg.bufferEntries >= cfg.width,
@@ -46,30 +47,34 @@ FetchUnit::activate(ThreadID tid, Tick resume_tick)
     buffer.clear();
 }
 
-void
+bool
 FetchUnit::tick(Tick now)
 {
     if (active == invalidThreadId)
-        return;
+        return false;
     if (stallBranchSeq != 0) {
         ++branchStallCycles;
-        return;
+        return false;
     }
     if (now < fetchReadyTick) {
         ++icacheStallCycles;
-        return;
+        return false;
     }
 
     workload::InstStream &stream = *streams[std::size_t(active)];
     const unsigned l1iHitLat = hier.config().l1i.hitLatency;
+    bool progress = false;
 
     for (unsigned n = 0; n < cfg.width; ++n) {
-        if (buffer.size() >= cfg.bufferEntries)
+        if (buffer.full())
             break;
 
         const isa::MicroOp &next = stream.peek();
         const Addr line = mem::lineAddr(next.pc);
         if (line != lastFetchLine) {
+            // Any hierarchy access counts as progress: it mutates
+            // cache state and statistics even when it is refused.
+            progress = true;
             auto res = hier.fetch(active, next.pc, now);
             if (res.retry)
                 break; // L1I port blocked; try next cycle
@@ -84,6 +89,7 @@ FetchUnit::tick(Tick now)
 
         const isa::MicroOp &op = stream.fetchNext();
         ++fetched;
+        progress = true;
 
         DynInst inst;
         inst.op = op;
@@ -110,10 +116,42 @@ FetchUnit::tick(Tick now)
             }
         }
 
-        buffer.push_back(inst);
+        buffer.pushBack(std::move(inst));
         if (stopGroup)
             break;
     }
+    return progress;
+}
+
+Tick
+FetchUnit::nextWakeTick(Tick now) const
+{
+    if (active == invalidThreadId)
+        return maxTick;
+    Tick wake = maxTick;
+    if (!buffer.empty() && buffer.front().dispatchReadyTick > now)
+        wake = buffer.front().dispatchReadyTick;
+    if (stallBranchSeq != 0)
+        return wake;
+    if (fetchReadyTick > now)
+        wake = std::min(wake, fetchReadyTick);
+    return wake;
+}
+
+void
+FetchUnit::creditSkippedCycles(Tick now, std::uint64_t skipped)
+{
+    // Mirror of tick()'s stall branches. The skipped ticks all lie
+    // strictly before this unit's nextWakeTick(now), so the branch
+    // taken at `now` is the branch every skipped tick would take.
+    if (active == invalidThreadId)
+        return;
+    if (stallBranchSeq != 0) {
+        branchStallCycles += skipped;
+        return;
+    }
+    if (now < fetchReadyTick)
+        icacheStallCycles += skipped;
 }
 
 DynInst *
@@ -129,7 +167,7 @@ FetchUnit::takeDispatchable()
 {
     soefair_assert(!buffer.empty(), "takeDispatchable on empty buffer");
     DynInst inst = buffer.front();
-    buffer.pop_front();
+    buffer.popFront();
     return inst;
 }
 

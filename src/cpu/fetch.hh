@@ -16,11 +16,11 @@
 #ifndef SOEFAIR_CPU_FETCH_HH
 #define SOEFAIR_CPU_FETCH_HH
 
-#include <deque>
 #include <vector>
 
 #include "cpu/branch_predictor.hh"
 #include "cpu/dyn_inst.hh"
+#include "cpu/inst_ring.hh"
 #include "mem/hierarchy.hh"
 #include "sim/types.hh"
 #include "stats/stats.hh"
@@ -54,8 +54,32 @@ class FetchUnit
     /** Begin fetching thread `tid`; first fetch at resume_tick. */
     void activate(ThreadID tid, Tick resume_tick);
 
-    /** Fetch up to `width` ops into the buffer. */
-    void tick(Tick now);
+    /**
+     * Fetch up to `width` ops into the buffer.
+     * @return true if the cycle made externally visible progress
+     *         (fetched an op or touched the memory hierarchy); false
+     *         for pure stall cycles whose only side effects are the
+     *         per-cycle stall counters, which creditSkippedCycles()
+     *         can reproduce in bulk.
+     */
+    bool tick(Tick now);
+
+    /**
+     * Earliest tick strictly after `now` at which a stalled front
+     * end can act again (buffered op turning dispatchable, L1I fill
+     * or redirect arriving), or maxTick. While stalled on an
+     * unresolved branch the wake is the buffered-op tick only: the
+     * resolution itself is produced by the issue stage, which is an
+     * active (non-skippable) cycle.
+     */
+    Tick nextWakeTick(Tick now) const;
+
+    /**
+     * Account `skipped` fast-forwarded stall cycles following a
+     * tick() that returned false at tick `now`: replays the same
+     * stall-counter branch tick() took, in bulk.
+     */
+    void creditSkippedCycles(Tick now, std::uint64_t skipped);
 
     /** Oldest buffered op if it is dispatch-ready, else nullptr. */
     DynInst *dispatchable(Tick now);
@@ -91,7 +115,7 @@ class FetchUnit
     Tick fetchReadyTick = 0;
     InstSeqNum stallBranchSeq = 0;
     Addr lastFetchLine = ~Addr(0);
-    std::deque<DynInst> buffer;
+    InstRing buffer;
 };
 
 } // namespace cpu

@@ -69,6 +69,19 @@ FuPool::occupy(isa::OpClass c, Tick now)
     panic("FuPool::occupy with no free unit");
 }
 
+Tick
+FuPool::nextFreeTick(Tick now) const
+{
+    Tick wake = maxTick;
+    for (const auto &units : busyUntil) {
+        for (Tick t : units) {
+            if (t > now && t < wake)
+                wake = t;
+        }
+    }
+    return wake;
+}
+
 void
 FuPool::reset()
 {

@@ -47,6 +47,14 @@ class FuPool
     /** Release every unit (thread-switch drain). */
     void reset();
 
+    /**
+     * Earliest tick strictly after `now` at which a currently busy
+     * unit frees up, or maxTick when nothing is in flight. A stalled
+     * issue stage can next succeed no earlier than this (or than an
+     * operand-ready tick, which the ROB tracks separately).
+     */
+    Tick nextFreeTick(Tick now) const;
+
   private:
     /** Internal unit kinds. */
     enum Kind : unsigned

@@ -11,9 +11,8 @@
 #ifndef SOEFAIR_CPU_ROB_HH
 #define SOEFAIR_CPU_ROB_HH
 
-#include <deque>
-
 #include "cpu/dyn_inst.hh"
+#include "cpu/inst_ring.hh"
 #include "sim/invariant.hh"
 #include "sim/logging.hh"
 
@@ -25,12 +24,12 @@ namespace cpu
 class Rob
 {
   public:
-    explicit Rob(unsigned capacity) : cap(capacity)
+    explicit Rob(unsigned capacity) : cap(capacity), entries(capacity)
     {
         soefair_assert(cap > 0, "ROB capacity must be positive");
     }
 
-    bool full() const { return entries.size() >= cap; }
+    bool full() const { return entries.full(); }
     bool empty() const { return entries.empty(); }
     std::size_t size() const { return entries.size(); }
     unsigned capacity() const { return cap; }
@@ -43,12 +42,12 @@ class Rob
         soefair_assert(entries.empty() ||
                        inst.op.seqNum == entries.back().op.seqNum + 1,
                        "ROB must stay in program order");
-        entries.push_back(std::move(inst));
-        entries.back().inRob = true;
+        DynInst &e = entries.pushBack(std::move(inst));
+        e.inRob = true;
         SOE_AUDIT(entries.size() <= cap,
                   "ROB occupancy ", entries.size(),
                   " above capacity ", cap);
-        return entries.back();
+        return e;
     }
 
     DynInst &
@@ -66,10 +65,10 @@ class Rob
         // counters hang off: the head must be the oldest in-flight
         // instruction (seqNums are dense in program order).
         SOE_AUDIT(entries.size() < 2 ||
-                  entries[0].op.seqNum + 1 == entries[1].op.seqNum,
+                  entries.at(0).op.seqNum + 1 == entries.at(1).op.seqNum,
                   "ROB head out of program order");
         entries.front().inRob = false;
-        entries.pop_front();
+        entries.popFront();
     }
 
     /** Drop everything (thread-switch drain). */
@@ -81,6 +80,26 @@ class Rob
         entries.clear();
     }
 
+    /**
+     * Earliest completion tick strictly after `now` among issued,
+     * not-yet-complete entries, or maxTick. This is the only tick at
+     * which a quiescent back end (nothing retiring, issuing or
+     * dispatching) can next change state: the fast-forward engine
+     * jumps to the minimum of these wake ticks.
+     */
+    Tick
+    nextCompletionTick(Tick now) const
+    {
+        Tick wake = maxTick;
+        for (const auto &e : entries) {
+            if (e.issued && e.completionTick > now &&
+                e.completionTick < wake) {
+                wake = e.completionTick;
+            }
+        }
+        return wake;
+    }
+
     /** In-order iteration (oldest first). */
     auto begin() { return entries.begin(); }
     auto end() { return entries.end(); }
@@ -89,7 +108,7 @@ class Rob
 
   private:
     unsigned cap;
-    std::deque<DynInst> entries;
+    InstRing entries;
 };
 
 } // namespace cpu

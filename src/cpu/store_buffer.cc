@@ -31,14 +31,17 @@ StoreBuffer::push(ThreadID tid, Addr addr, Tick now)
               entries.size(), " above capacity ", cap);
 }
 
-void
+bool
 StoreBuffer::tick(Tick now)
 {
+    bool progress = false;
+
     // Free completed entries from the front (in-order dealloc).
     while (!entries.empty() && entries.front().issued &&
            entries.front().completion <= now) {
         entries.pop_front();
         ++drains;
+        progress = true;
     }
 
     // Issue the oldest not-yet-issued store (one per cycle); earlier
@@ -46,6 +49,7 @@ StoreBuffer::tick(Tick now)
     for (auto &e : entries) {
         if (e.issued)
             continue;
+        progress = true;
         auto res = hier.store(e.tid, e.addr, now);
         if (res.retry) {
             ++retries;
@@ -55,6 +59,21 @@ StoreBuffer::tick(Tick now)
         }
         break;
     }
+    return progress;
+}
+
+Tick
+StoreBuffer::nextWakeTick(Tick now) const
+{
+    if (entries.empty())
+        return maxTick;
+    const Entry &front = entries.front();
+    // An unissued entry retries every cycle (an active tick), so a
+    // quiescent buffer has everything in flight; be conservative if
+    // a caller asks anyway.
+    if (!front.issued || front.completion <= now)
+        return now + 1;
+    return front.completion;
 }
 
 void

@@ -38,8 +38,22 @@ class StoreBuffer
     /** Accept a retiring store. */
     void push(ThreadID tid, Addr addr, Tick now);
 
-    /** Per-cycle drain: issue at most one store, free completed. */
-    void tick(Tick now);
+    /**
+     * Per-cycle drain: issue at most one store, free completed.
+     * @return true if the cycle freed an entry or touched the cache
+     *         (an issue attempt counts even when refused: retries
+     *         mutate hierarchy statistics); false when the buffer is
+     *         provably idle until nextWakeTick().
+     */
+    bool tick(Tick now);
+
+    /**
+     * Earliest tick strictly after `now` at which an idle buffer
+     * next frees an entry, or maxTick. After a tick() that returned
+     * false every entry is in flight, so the only future action is
+     * the in-order completion of the front entry.
+     */
+    Tick nextWakeTick(Tick now) const;
 
     /** What an issuing load sees when probing the buffer. */
     enum class Match

@@ -31,15 +31,20 @@ RunConfig::scaled(double factor) const
 RunConfig
 RunConfig::fromEnv(const RunConfig &base)
 {
+    RunConfig rc = base;
+    if (const char *ff = std::getenv("SOEFAIR_FASTFORWARD")) {
+        const std::string v(ff);
+        rc.fastForward = !(v == "0" || v == "off" || v == "OFF");
+    }
     const char *s = std::getenv("SOEFAIR_SCALE");
     if (!s)
-        return base;
+        return rc;
     const double f = std::atof(s);
     if (f <= 0.0) {
         warn("ignoring bad SOEFAIR_SCALE='", s, "'");
-        return base;
+        return rc;
     }
-    return base.scaled(std::clamp(f, 0.01, 100.0));
+    return rc.scaled(std::clamp(f, 0.01, 100.0));
 }
 
 namespace
@@ -74,6 +79,7 @@ Runner::runSingleThread(const ThreadSpec &spec, const RunConfig &rc,
                         std::uint64_t window_instrs)
 {
     System sys(mc, {spec});
+    sys.setFastForward(rc.fastForward);
     sys.warmCaches(rc.warmupInstrs);
 
     std::unique_ptr<RetireTracer> tracer;
@@ -146,6 +152,7 @@ Runner::runSoe(const std::vector<ThreadSpec> &specs,
     soefair_assert(specs.size() >= 2, "SOE run needs >= 2 threads");
 
     System sys(mc, specs);
+    sys.setFastForward(rc.fastForward);
     sys.warmCaches(rc.warmupInstrs);
 
     std::unique_ptr<RetireTracer> tracer;

@@ -37,6 +37,13 @@ struct RunConfig
     std::ostream *statsDump = nullptr;
     /** If non-empty, write a text retirement trace to this path. */
     std::string retireTracePath;
+    /**
+     * Jump over provably quiescent stall runs instead of ticking
+     * them (System::setFastForward). Results are byte-identical
+     * either way; off is useful only for cross-checking that
+     * contract and for timing the cycle-stepped baseline.
+     */
+    bool fastForward = true;
 
     /**
      * Multiply all instruction counts by `factor` (the environment
@@ -44,7 +51,10 @@ struct RunConfig
      */
     RunConfig scaled(double factor) const;
 
-    /** Apply SOEFAIR_SCALE from the environment, if set. */
+    /**
+     * Apply SOEFAIR_SCALE and SOEFAIR_FASTFORWARD ("0"/"off"
+     * disables) from the environment, if set.
+     */
     static RunConfig fromEnv(const RunConfig &base);
     static RunConfig fromEnv() { return fromEnv(RunConfig{}); }
 };

@@ -77,8 +77,26 @@ class System
     /** Install the switch controller and begin with thread 0. */
     void start(cpu::SwitchController *controller);
 
-    /** Advance exactly n cycles. */
+    /**
+     * Advance exactly n cycles. With fast-forward enabled (the
+     * default), runs of provably quiescent cycles — every pipeline
+     * stage stalled, nothing due on the event queue — are jumped in
+     * one step instead of ticked one by one, with the per-cycle
+     * stall counters credited in bulk. The determinism contract:
+     * every statistic and every observable tick (events, samples,
+     * switches, retirements) is byte-identical with fast-forward on
+     * and off; see docs/performance.md.
+     */
     void step(std::uint64_t n);
+
+    /** Toggle stall fast-forwarding (on by default). */
+    void setFastForward(bool on) { fastForward = on; }
+    bool fastForwardEnabled() const { return fastForward; }
+
+    /** Number of quiescent stretches jumped. */
+    std::uint64_t fastForwardJumps() const { return ffJumps; }
+    /** Cycles elided by those jumps (still counted in now()). */
+    std::uint64_t fastForwardCycles() const { return ffCycles; }
 
     /**
      * Functional cache warmup: stream `instrs_per_thread` upcoming
@@ -101,6 +119,14 @@ class System
     std::vector<std::unique_ptr<workload::InstStream>> streams;
     Tick currentTick = 0;
     bool started = false;
+    /**
+     * Deliberately not part of MachineConfig: fast-forward changes
+     * wall-clock speed only, never results, so it must not perturb
+     * config fingerprints (sweep journals, eval caches).
+     */
+    bool fastForward = true;
+    std::uint64_t ffJumps = 0;
+    std::uint64_t ffCycles = 0;
 };
 
 } // namespace harness

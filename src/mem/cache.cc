@@ -35,14 +35,10 @@ Cache::Cache(const CacheConfig &config, MemLevel &next_level,
                    "cache size not divisible into sets: ", cfg.name);
     numSets = cfg.sizeBytes / (lineBytes * cfg.assoc);
     soefair_assert(numSets > 0, "cache has zero sets");
+    setsPow2 = (numSets & (numSets - 1)) == 0;
+    setMask = setsPow2 ? numSets - 1 : 0;
     lines.resize(numSets * cfg.assoc);
     mshrs.resize(std::max(1u, cfg.numMshrs));
-}
-
-std::size_t
-Cache::setIndex(Addr addr) const
-{
-    return std::size_t((addr / lineBytes) % numSets);
 }
 
 Cache::Line *

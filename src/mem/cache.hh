@@ -101,7 +101,21 @@ class Cache : public MemLevel
         bool fillPrefetched = false;
     };
 
-    std::size_t setIndex(Addr addr) const;
+    /**
+     * Map an address to its set. Every practical geometry has a
+     * power-of-two set count, where the modulo (a 64-bit divide on
+     * the hottest path in the simulator) reduces to a mask; the
+     * divide stays as the fallback for odd configs.
+     */
+    std::size_t
+    setIndex(Addr addr) const
+    {
+        const Addr line = addr / lineBytes;
+        if (setsPow2)
+            return std::size_t(line) & setMask;
+        return std::size_t(line % numSets);
+    }
+
     Line *findLine(Addr addr);
     const Line *findLine(Addr addr) const;
     Mshr *findMshr(Addr line);
@@ -117,6 +131,8 @@ class Cache : public MemLevel
     sim::AuditRegistration auditReg;
 
     std::size_t numSets;
+    bool setsPow2 = false;
+    std::size_t setMask = 0;
     std::vector<Line> lines; // numSets * assoc, set-major
     std::vector<Mshr> mshrs;
     std::uint64_t lruCounter = 0;

@@ -8,27 +8,91 @@ namespace soefair
 {
 
 void
+EventQueue::reserve(std::size_t n)
+{
+    heap.reserve(n);
+    freeSlots.reserve(n);
+    if (pool.size() < n) {
+        const std::size_t old = pool.size();
+        pool.resize(n);
+        for (std::size_t i = pool.size(); i > old; --i)
+            freeSlots.push_back(std::uint32_t(i - 1));
+    }
+}
+
+void
 EventQueue::schedule(Tick when, Callback cb)
 {
     soefair_assert(cb, "scheduling a null event callback");
-    heap.push(Entry{when, nextOrder++, std::move(cb)});
+
+    std::uint32_t slot;
+    if (!freeSlots.empty()) {
+        slot = freeSlots.back();
+        freeSlots.pop_back();
+    } else {
+        slot = std::uint32_t(pool.size());
+        pool.emplace_back();
+    }
+    pool[slot] = std::move(cb);
+
+    heap.push_back(Entry{when, nextOrder++, slot});
+    siftUp(heap.size() - 1);
 }
 
 void
 EventQueue::runUntil(Tick now)
 {
-    while (!heap.empty() && heap.top().when <= now) {
-        // Copy out before pop so the callback may schedule.
-        Callback cb = heap.top().cb;
-        heap.pop();
+    while (!heap.empty() && heap.front().when <= now) {
+        const Entry top = popTop();
+        // Move out and free the slot before running so the callback
+        // may schedule (possibly reusing this very slot).
+        Callback cb = std::move(pool[top.slot]);
+        pool[top.slot] = nullptr;
+        freeSlots.push_back(top.slot);
         cb();
     }
 }
 
-Tick
-EventQueue::nextEventTick() const
+void
+EventQueue::siftUp(std::size_t i)
 {
-    return heap.empty() ? maxTick : heap.top().when;
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (!heap[i].before(heap[parent]))
+            break;
+        std::swap(heap[i], heap[parent]);
+        i = parent;
+    }
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    const std::size_t n = heap.size();
+    for (;;) {
+        std::size_t smallest = i;
+        const std::size_t l = 2 * i + 1;
+        const std::size_t r = 2 * i + 2;
+        if (l < n && heap[l].before(heap[smallest]))
+            smallest = l;
+        if (r < n && heap[r].before(heap[smallest]))
+            smallest = r;
+        if (smallest == i)
+            return;
+        std::swap(heap[i], heap[smallest]);
+        i = smallest;
+    }
+}
+
+EventQueue::Entry
+EventQueue::popTop()
+{
+    const Entry top = heap.front();
+    heap.front() = heap.back();
+    heap.pop_back();
+    if (!heap.empty())
+        siftDown(0);
+    return top;
 }
 
 } // namespace soefair

@@ -6,6 +6,13 @@
  * future completions (miss fills, writeback slots) on this queue.
  * Events scheduled for the same tick fire in insertion order, which
  * keeps runs deterministic.
+ *
+ * Storage is a binary heap of small (tick, order, slot) records over
+ * a pool of callback slots recycled through a free list, so the
+ * steady state schedules and fires events with zero heap allocation
+ * (std::function's small-object buffer holds the cache-fill
+ * closures). The heap doubles as the fast-forward horizon: the
+ * harness asks nextEventTick() before jumping over quiescent cycles.
  */
 
 #ifndef SOEFAIR_SIM_EVENT_QUEUE_HH
@@ -13,7 +20,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "sim/types.hh"
@@ -27,6 +33,8 @@ class EventQueue
   public:
     using Callback = std::function<void()>;
 
+    EventQueue() { reserve(defaultReserve); }
+
     /** Schedule cb to run at tick when (>= current service point). */
     void schedule(Tick when, Callback cb);
 
@@ -38,7 +46,14 @@ class EventQueue
     void runUntil(Tick now);
 
     /** Tick of the earliest pending event, or maxTick if empty. */
-    Tick nextEventTick() const;
+    Tick
+    nextEventTick() const
+    {
+        return heap.empty() ? maxTick : heap.front().when;
+    }
+
+    /** Pre-size the heap and slot pool for n concurrent events. */
+    void reserve(std::size_t n);
 
     /** Number of pending events. */
     std::size_t size() const { return heap.size(); }
@@ -46,25 +61,36 @@ class EventQueue
     bool empty() const { return heap.empty(); }
 
   private:
+    /** Enough for every MSHR of a two-level hierarchy plus slack. */
+    static constexpr std::size_t defaultReserve = 64;
+
+    /**
+     * Heap record: ordering keys inline (so sifts never touch the
+     * callbacks), payload by pool index.
+     */
     struct Entry
     {
         Tick when;
         std::uint64_t order;
-        Callback cb;
-    };
+        std::uint32_t slot;
 
-    struct Later
-    {
         bool
-        operator()(const Entry &a, const Entry &b) const
+        before(const Entry &o) const
         {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.order > b.order;
+            if (when != o.when)
+                return when < o.when;
+            return order < o.order;
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+    Entry popTop();
+
+    std::vector<Entry> heap;
+    /** Callback pool; slots of fired events return to freeSlots. */
+    std::vector<Callback> pool;
+    std::vector<std::uint32_t> freeSlots;
     std::uint64_t nextOrder = 0;
 };
 

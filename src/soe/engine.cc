@@ -1,5 +1,6 @@
 #include "soe/engine.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -39,6 +40,7 @@ SoeEngine::SoeEngine(const SoeConfig &config, SchedulingPolicy &pol,
                    "so every thread runs in each window");
     threads.resize(num_threads);
     lastEstimates.resize(num_threads);
+    windowScratch.resize(num_threads);
     for (unsigned i = 0; i < num_threads; ++i)
         threads[i].tid = ThreadID(i);
     auditReg = sim::AuditRegistration(
@@ -187,6 +189,43 @@ SoeEngine::pickNextForced(ThreadID tid, Tick now)
     return nextReady(tid, now);
 }
 
+Tick
+SoeEngine::nextWakeTick(ThreadID tid, Tick now) const
+{
+    // onCycle() for this tick already ran, so a due sample has fired
+    // and the boundary must lie strictly ahead; fast-forward relies
+    // on this to never jump a sample (the watchdog horizon is a
+    // whole number of sample windows, so it is covered too).
+    SOE_AUDIT(nextSampleTick > now,
+              "fast-forward queried with a sample boundary due: next ",
+              nextSampleTick, " at tick ", now);
+    Tick wake = nextSampleTick;
+
+    // Residency quotas expire relative to the switch-in stamp; the
+    // quota checks in onCycle() compare against exactly these ticks.
+    // An expiry already in the past stays in the past (the switch
+    // attempt it triggers found no ready thread and is a pure no-op
+    // each cycle), so only future expiries gate the jump.
+    const ThreadContext &c = context(tid);
+    if (c.running) {
+        const Tick tsQuota = policy.cycleQuota();
+        if (tsQuota != 0 && c.switchInTick + tsQuota > now)
+            wake = std::min(wake, c.switchInTick + tsQuota);
+        if (cfg.maxCyclesQuota != 0 &&
+            c.switchInTick + cfg.maxCyclesQuota > now) {
+            wake = std::min(wake, c.switchInTick + cfg.maxCyclesQuota);
+        }
+    }
+
+    // A blocked thread turning ready changes what pickNextForced()
+    // and onHeadStall() would answer.
+    for (const auto &t : threads) {
+        if (t.blockedUntil > now)
+            wake = std::min(wake, t.blockedUntil);
+    }
+    return wake;
+}
+
 void
 SoeEngine::closeResidency(ThreadContext &c, Tick now)
 {
@@ -299,7 +338,7 @@ SoeEngine::sample(Tick now)
     auditWindow(now);
     sim::InvariantAuditor::global().runAll();
 
-    std::vector<core::HwCounters> window(threads.size());
+    std::vector<core::HwCounters> &window = windowScratch;
     for (std::size_t j = 0; j < threads.size(); ++j)
         window[j] = threads[j].window;
 

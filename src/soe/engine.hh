@@ -110,6 +110,7 @@ class SoeEngine : public cpu::SwitchController
     void onSwitchOut(ThreadID tid, Tick now,
                      cpu::SwitchReason reason) override;
     void onSwitchIn(ThreadID tid, Tick now) override;
+    Tick nextWakeTick(ThreadID tid, Tick now) const override;
 
     /** Close accounting at the end of a run. */
     void finalize(Tick now);
@@ -169,6 +170,8 @@ class SoeEngine : public cpu::SwitchController
     double lastMeasuredMissLat = 0.0;
     std::vector<ThreadContext> threads;
     std::vector<core::WindowEstimate> lastEstimates;
+    /** Reused per-sample snapshot (no per-window allocation). */
+    std::vector<core::HwCounters> windowScratch;
     Tick nextSampleTick;
     Tick lastSampleTick = 0;
     /** Consecutive active-but-retirement-free windows (watchdog). */

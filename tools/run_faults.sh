@@ -25,6 +25,12 @@ CLI="$BUILD_DIR/tools/soefair_cli"
 TIMEOUT_S=${SOEFAIR_FAULT_TIMEOUT:-180}
 SEEDS=${SOEFAIR_FAULT_SEEDS:-"1 2 3 4 5"}
 
+# Robustness coverage runs with the stall fast-forward engine on
+# (the production default) so fault paths compose with cycle
+# skipping; set SOEFAIR_FASTFORWARD=0 to cross-check the
+# cycle-stepped baseline.
+export SOEFAIR_FASTFORWARD=${SOEFAIR_FASTFORWARD:-1}
+
 if [ ! -x "$CLI" ]; then
     echo "error: $CLI not found or not executable" >&2
     echo "build first: cmake --preset release && cmake --build ..." >&2

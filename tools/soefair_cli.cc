@@ -36,6 +36,11 @@
  *   --instrs N        measured instructions per thread
  *   --warmup N        functional warmup instructions per thread
  *   --scale X         scale all run lengths (like SOEFAIR_SCALE)
+ *   --no-fastforward  tick every stall cycle instead of jumping
+ *                     quiescent runs (results are byte-identical
+ *                     either way; see docs/performance.md). The
+ *                     SOEFAIR_FASTFORWARD=0 environment variable
+ *                     does the same.
  *
  * sweep options (see docs/robustness.md for the supervisor):
  *   --levels a,b,..   enforcement levels (default 0,0.25,0.5,1)
@@ -123,6 +128,8 @@ runConfigFrom(const CliOptions &opts)
     if (opts.hasFlag("stats"))
         rc.statsDump = &std::cerr;
     rc.retireTracePath = opts.getString("retire-trace", "");
+    if (opts.hasFlag("no-fastforward"))
+        rc.fastForward = false;
     return rc;
 }
 
@@ -555,7 +562,8 @@ main(int argc, char **argv)
         return usage();
 
     const std::vector<std::string> flagNames = {
-        "measured", "l1-switch", "windows", "stats", "raw"};
+        "measured", "l1-switch", "windows", "stats", "raw",
+        "no-fastforward"};
     CliOptions opts(argc - 1, argv + 1, flagNames);
     if (opts.positional().empty())
         return usage();
