@@ -1,11 +1,11 @@
 #include "eval_common.hh"
 
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <set>
 #include <sstream>
 
+#include "harness/env.hh"
 #include "sim/errors.hh"
 #include "sim/logging.hh"
 #include "workload/profile.hh"
@@ -97,8 +97,8 @@ evaluationData()
     SupervisorConfig scfg;
     scfg.deadlineSeconds = 3600.0;
     scfg.progress = &std::cerr;
-    if (const char *jobs = std::getenv("SOEFAIR_EVAL_JOBS"))
-        scfg.jobSlots = unsigned(std::atoi(jobs));
+    scfg.jobSlots = env::resolveUnsigned(
+        std::nullopt, "SOEFAIR_EVAL_JOBS", scfg.jobSlots);
 
     CampaignResult agg = campaign.run(scfg, journalFile, resume);
 

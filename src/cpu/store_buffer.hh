@@ -80,8 +80,8 @@ class StoreBuffer
   private:
     struct Entry
     {
-        ThreadID tid;
-        Addr addr;
+        ThreadID tid = 0;
+        Addr addr = 0;
         bool issued = false;
         Tick completion = 0;
     };

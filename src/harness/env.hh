@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The single environment-variable access point.
+ *
+ * Determinism rule DET-002 (tools/detlint) forbids `std::getenv`
+ * everywhere except env.cc: environment reads scattered through model
+ * code are invisible inputs that break the byte-identical determinism
+ * contract, so every read funnels through here, where it is named,
+ * typed and testable. Precedence is uniform: an explicit CLI value
+ * wins over the environment, which wins over the built-in default
+ * (see resolveString / resolveDouble / resolveUnsigned).
+ *
+ * Model code (src/{sim,cpu,mem,soe,workload}) must not call even
+ * these accessors — the environment may steer *harness* behaviour
+ * (scales, job counts, toggles), never simulated results.
+ */
+
+#ifndef SOEFAIR_HARNESS_ENV_HH
+#define SOEFAIR_HARNESS_ENV_HH
+
+#include <optional>
+#include <string>
+
+namespace soefair
+{
+namespace harness
+{
+namespace env
+{
+
+/** Raw read: the variable's value, or nullopt when unset. */
+std::optional<std::string> get(const char *name);
+
+/** The variable's value, or `fallback` when unset. */
+std::string getOr(const char *name, const std::string &fallback);
+
+/** True when the variable is set (possibly to ""). */
+bool isSet(const char *name);
+
+/**
+ * Boolean read: unset -> nullopt; "0" / "off" / "OFF" / "false" ->
+ * false; anything else (including "") -> true.
+ */
+std::optional<bool> getBool(const char *name);
+
+/**
+ * Numeric read: unset or unparsable -> nullopt (a warning is logged
+ * for set-but-unparsable values, naming the variable).
+ */
+std::optional<double> getDouble(const char *name);
+std::optional<unsigned> getUnsigned(const char *name);
+
+/**
+ * CLI > environment > default precedence, shared by every consumer:
+ * `cli` (engaged when the flag was given on the command line) wins;
+ * otherwise the environment variable, if set and parsable; otherwise
+ * `fallback`.
+ */
+std::string resolveString(const std::optional<std::string> &cli,
+                          const char *name,
+                          const std::string &fallback);
+double resolveDouble(const std::optional<double> &cli,
+                     const char *name, double fallback);
+unsigned resolveUnsigned(const std::optional<unsigned> &cli,
+                         const char *name, unsigned fallback);
+
+} // namespace env
+} // namespace harness
+} // namespace soefair
+
+#endif // SOEFAIR_HARNESS_ENV_HH

@@ -26,6 +26,11 @@
  * warning while strict loading still raises.
  */
 
+// detlint: conc-optin — journal state crosses the fork boundary
+// today and will be drained by several worker threads once the
+// supervisor batches jobs in-process; members carry ownership-domain
+// tags (CONC-001, see src/sim/annotations.hh).
+
 #ifndef SOEFAIR_HARNESS_JOURNAL_HH
 #define SOEFAIR_HARNESS_JOURNAL_HH
 
@@ -33,6 +38,8 @@
 #include <map>
 #include <set>
 #include <string>
+
+#include "sim/annotations.hh"
 
 namespace soefair
 {
@@ -45,12 +52,17 @@ constexpr int journalVersion = 1;
 /** One job state transition. */
 struct JournalRecord
 {
-    std::string job;
-    std::string state;    ///< "running" | "done" | "failed"
-    unsigned attempt = 0; ///< 1-based attempt that made the transition
-    std::string payload;  ///< done: the job's result payload
-    std::string errClass; ///< failed: failure class (see supervisor)
-    std::string detail;   ///< failed: human-readable diagnostic
+    std::string job SOE_THREAD_OWNED(supervisor);
+    /** "running" | "done" | "failed" */
+    std::string state SOE_THREAD_OWNED(supervisor);
+    /** 1-based attempt that made the transition. */
+    unsigned attempt SOE_THREAD_OWNED(supervisor) = 0;
+    /** done: the job's result payload. */
+    std::string payload SOE_THREAD_OWNED(supervisor);
+    /** failed: failure class (see supervisor). */
+    std::string errClass SOE_THREAD_OWNED(supervisor);
+    /** failed: human-readable diagnostic. */
+    std::string detail SOE_THREAD_OWNED(supervisor);
 };
 
 /**
@@ -80,20 +92,23 @@ class JournalWriter
   private:
     void writeLine(const std::string &line);
 
-    int fd = -1;
-    std::string filePath;
+    int fd SOE_THREAD_OWNED(supervisor) = -1;
+    std::string filePath SOE_THREAD_OWNED(supervisor);
 };
 
 /** Parsed journal contents, reduced to per-job final state. */
 struct JournalState
 {
-    std::string key;
+    std::string key SOE_THREAD_OWNED(supervisor);
     /** Jobs with a committed `done` record (id -> record). */
-    std::map<std::string, JournalRecord> done;
+    std::map<std::string, JournalRecord>
+        done SOE_THREAD_OWNED(supervisor);
     /** Jobs whose *latest* record is `failed` (id -> record). */
-    std::map<std::string, JournalRecord> failed;
+    std::map<std::string, JournalRecord>
+        failed SOE_THREAD_OWNED(supervisor);
     /** Attempts started per job (max attempt seen in any record). */
-    std::map<std::string, unsigned> attempts;
+    std::map<std::string, unsigned>
+        attempts SOE_THREAD_OWNED(supervisor);
 };
 
 /**

@@ -1,10 +1,10 @@
 #include "harness/runner.hh"
 
 #include <algorithm>
-#include <cstdlib>
 #include <memory>
 #include <sstream>
 
+#include "harness/env.hh"
 #include "harness/retire_trace.hh"
 #include "sim/logging.hh"
 
@@ -32,19 +32,16 @@ RunConfig
 RunConfig::fromEnv(const RunConfig &base)
 {
     RunConfig rc = base;
-    if (const char *ff = std::getenv("SOEFAIR_FASTFORWARD")) {
-        const std::string v(ff);
-        rc.fastForward = !(v == "0" || v == "off" || v == "OFF");
-    }
-    const char *s = std::getenv("SOEFAIR_SCALE");
-    if (!s)
+    if (const auto ff = env::getBool("SOEFAIR_FASTFORWARD"))
+        rc.fastForward = *ff;
+    const auto f = env::getDouble("SOEFAIR_SCALE");
+    if (!f)
         return rc;
-    const double f = std::atof(s);
-    if (f <= 0.0) {
-        warn("ignoring bad SOEFAIR_SCALE='", s, "'");
+    if (*f <= 0.0) {
+        warn("ignoring bad SOEFAIR_SCALE='", *f, "'");
         return rc;
     }
-    return rc.scaled(std::clamp(f, 0.01, 100.0));
+    return rc.scaled(std::clamp(*f, 0.01, 100.0));
 }
 
 namespace

@@ -24,6 +24,11 @@
  * the journal replays `done` payloads without re-running the jobs.
  */
 
+// detlint: conc-optin — the supervisor is the first component that
+// will host worker *threads* (in-process batched jobs, ROADMAP item
+// 2); its state carries ownership-domain tags now so sharing it
+// later is an annotation change the compiler checks (CONC-001).
+
 #ifndef SOEFAIR_HARNESS_SUPERVISOR_HH
 #define SOEFAIR_HARNESS_SUPERVISOR_HH
 
@@ -33,6 +38,7 @@
 #include <vector>
 
 #include "harness/journal.hh"
+#include "sim/annotations.hh"
 
 namespace soefair
 {
@@ -46,45 +52,46 @@ constexpr int exitCampaignFailed = 21;  ///< no cell completed
 /** One unit of isolated work. */
 struct SupervisorJob
 {
-    std::string id;
+    std::string id SOE_THREAD_OWNED(supervisor);
     /**
      * Job body, executed in the forked child. Returns the result
      * payload recorded in the journal. `attempt` is 1-based; retried
      * attempts may use it to derive a jittered seed. Throwing a
      * SimError exits the child with that class's exit code.
      */
-    std::function<std::string(unsigned attempt)> run;
+    std::function<std::string(unsigned attempt)>
+        run SOE_THREAD_OWNED(supervisor);
 };
 
 struct SupervisorConfig
 {
     /** Wall-clock deadline per attempt; expired children get
      *  SIGKILL. <= 0 disables the deadline. */
-    double deadlineSeconds = 600.0;
+    double deadlineSeconds SOE_THREAD_OWNED(supervisor) = 600.0;
     /** Max attempts per job with a transient failure (>= 1). */
-    unsigned maxAttempts = 3;
+    unsigned maxAttempts SOE_THREAD_OWNED(supervisor) = 3;
     /** Backoff before retry k is base * 2^(k-2) seconds. */
-    double backoffBaseSeconds = 0.25;
+    double backoffBaseSeconds SOE_THREAD_OWNED(supervisor) = 0.25;
     /** Concurrent forked children (the `--jobs N` slots). */
-    unsigned jobSlots = 1;
+    unsigned jobSlots SOE_THREAD_OWNED(supervisor) = 1;
     /** Optional stream for per-job progress lines. */
-    std::ostream *progress = nullptr;
+    std::ostream *progress SOE_THREAD_OWNED(supervisor) = nullptr;
 };
 
 /** Final state of one job after supervision. */
 struct JobOutcome
 {
-    std::string id;
-    bool done = false;
+    std::string id SOE_THREAD_OWNED(supervisor);
+    bool done SOE_THREAD_OWNED(supervisor) = false;
     /** True when the result was replayed from the journal. */
-    bool fromJournal = false;
-    std::string payload;
+    bool fromJournal SOE_THREAD_OWNED(supervisor) = false;
+    std::string payload SOE_THREAD_OWNED(supervisor);
     /** Failure class when !done: "input", "estimator", "watchdog",
      *  "checkpoint", "fatal", "usage", "panic", "signal",
      *  "deadline" or "exit". */
-    std::string failClass;
-    std::string detail;
-    unsigned attempts = 0;
+    std::string failClass SOE_THREAD_OWNED(supervisor);
+    std::string detail SOE_THREAD_OWNED(supervisor);
+    unsigned attempts SOE_THREAD_OWNED(supervisor) = 0;
 };
 
 class SweepSupervisor
@@ -116,7 +123,7 @@ class SweepSupervisor
     static bool isTransient(const std::string &fail_class);
 
   private:
-    SupervisorConfig cfg;
+    SupervisorConfig cfg SOE_THREAD_OWNED(supervisor);
 };
 
 } // namespace harness

@@ -15,6 +15,10 @@
  * harness asks nextEventTick() before jumping over quiescent cycles.
  */
 
+// detlint: conc-optin — every mutable member below carries an
+// ownership-domain or capability annotation (CONC-001); this queue is
+// the per-logical-process structure PDES will shard first.
+
 #ifndef SOEFAIR_SIM_EVENT_QUEUE_HH
 #define SOEFAIR_SIM_EVENT_QUEUE_HH
 
@@ -22,6 +26,7 @@
 #include <functional>
 #include <vector>
 
+#include "sim/annotations.hh"
 #include "sim/types.hh"
 
 namespace soefair
@@ -70,9 +75,9 @@ class EventQueue
      */
     struct Entry
     {
-        Tick when;
-        std::uint64_t order;
-        std::uint32_t slot;
+        Tick when SOE_THREAD_OWNED(sim) = 0;
+        std::uint64_t order SOE_THREAD_OWNED(sim) = 0;
+        std::uint32_t slot SOE_THREAD_OWNED(sim) = 0;
 
         bool
         before(const Entry &o) const
@@ -87,11 +92,11 @@ class EventQueue
     void siftDown(std::size_t i);
     Entry popTop();
 
-    std::vector<Entry> heap;
+    std::vector<Entry> heap SOE_THREAD_OWNED(sim);
     /** Callback pool; slots of fired events return to freeSlots. */
-    std::vector<Callback> pool;
-    std::vector<std::uint32_t> freeSlots;
-    std::uint64_t nextOrder = 0;
+    std::vector<Callback> pool SOE_THREAD_OWNED(sim);
+    std::vector<std::uint32_t> freeSlots SOE_THREAD_OWNED(sim);
+    std::uint64_t nextOrder SOE_THREAD_OWNED(sim) = 0;
 };
 
 } // namespace soefair

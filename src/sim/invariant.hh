@@ -102,7 +102,7 @@ class InvariantAuditor
   private:
     struct Entry
     {
-        std::uint64_t id;
+        std::uint64_t id = 0;
         std::string name;
         Check fn;
     };

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the single environment access point (harness/env.hh):
+ * raw/typed reads and the uniform CLI > environment > default
+ * precedence every consumer must follow (DET-002's whitelisted
+ * accessor — see docs/correctness.md).
+ */
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "harness/env.hh"
+#include "harness/runner.hh"
+
+using namespace soefair::harness;
+
+namespace
+{
+
+/** RAII set/unset so tests cannot leak environment state. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name_, const char *value) : name(name_)
+    {
+        if (value)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+    ~ScopedEnv() { ::unsetenv(name); }
+
+    ScopedEnv(const ScopedEnv &) = delete;
+    ScopedEnv &operator=(const ScopedEnv &) = delete;
+
+  private:
+    const char *name;
+};
+
+constexpr const char *var = "SOEFAIR_TEST_ENV_VAR";
+
+} // namespace
+
+TEST(Env, GetReturnsNulloptWhenUnset)
+{
+    ScopedEnv e(var, nullptr);
+    EXPECT_FALSE(env::get(var).has_value());
+    EXPECT_FALSE(env::isSet(var));
+    EXPECT_EQ(env::getOr(var, "fallback"), "fallback");
+}
+
+TEST(Env, GetReturnsValueWhenSet)
+{
+    ScopedEnv e(var, "hello");
+    ASSERT_TRUE(env::get(var).has_value());
+    EXPECT_EQ(*env::get(var), "hello");
+    EXPECT_TRUE(env::isSet(var));
+    EXPECT_EQ(env::getOr(var, "fallback"), "hello");
+}
+
+TEST(Env, EmptyStringCountsAsSet)
+{
+    ScopedEnv e(var, "");
+    EXPECT_TRUE(env::isSet(var));
+    EXPECT_EQ(env::getOr(var, "fallback"), "");
+}
+
+TEST(Env, BoolParsesOffSpellings)
+{
+    for (const char *off : {"0", "off", "OFF", "false"}) {
+        ScopedEnv e(var, off);
+        ASSERT_TRUE(env::getBool(var).has_value()) << off;
+        EXPECT_FALSE(*env::getBool(var)) << off;
+    }
+    for (const char *on : {"1", "on", "yes", ""}) {
+        ScopedEnv e(var, on);
+        ASSERT_TRUE(env::getBool(var).has_value()) << on;
+        EXPECT_TRUE(*env::getBool(var)) << on;
+    }
+    ScopedEnv e(var, nullptr);
+    EXPECT_FALSE(env::getBool(var).has_value());
+}
+
+TEST(Env, NumericParsesAndRejectsGarbage)
+{
+    {
+        ScopedEnv e(var, "0.25");
+        ASSERT_TRUE(env::getDouble(var).has_value());
+        EXPECT_DOUBLE_EQ(*env::getDouble(var), 0.25);
+    }
+    {
+        ScopedEnv e(var, "12");
+        ASSERT_TRUE(env::getUnsigned(var).has_value());
+        EXPECT_EQ(*env::getUnsigned(var), 12u);
+    }
+    for (const char *bad : {"abc", "1.5x", ""}) {
+        ScopedEnv e(var, bad);
+        EXPECT_FALSE(env::getDouble(var).has_value()) << bad;
+        EXPECT_FALSE(env::getUnsigned(var).has_value()) << bad;
+    }
+}
+
+TEST(Env, PrecedenceCliBeatsEnvBeatsDefault)
+{
+    // All three present: CLI wins.
+    {
+        ScopedEnv e(var, "2.0");
+        EXPECT_DOUBLE_EQ(env::resolveDouble(3.5, var, 1.0), 3.5);
+        EXPECT_EQ(env::resolveUnsigned(7u, var, 1u), 7u);
+        EXPECT_EQ(env::resolveString(std::string("cli"), var, "def"),
+                  "cli");
+    }
+    // No CLI: environment wins over the default.
+    {
+        ScopedEnv e(var, "2.0");
+        EXPECT_DOUBLE_EQ(env::resolveDouble(std::nullopt, var, 1.0),
+                         2.0);
+    }
+    {
+        ScopedEnv e(var, "9");
+        EXPECT_EQ(env::resolveUnsigned(std::nullopt, var, 1u), 9u);
+    }
+    {
+        ScopedEnv e(var, "envval");
+        EXPECT_EQ(env::resolveString(std::nullopt, var, "def"),
+                  "envval");
+    }
+    // Neither: the default.
+    {
+        ScopedEnv e(var, nullptr);
+        EXPECT_DOUBLE_EQ(env::resolveDouble(std::nullopt, var, 1.0),
+                         1.0);
+        EXPECT_EQ(env::resolveUnsigned(std::nullopt, var, 4u), 4u);
+        EXPECT_EQ(env::resolveString(std::nullopt, var, "def"),
+                  "def");
+    }
+    // Unparsable environment falls back to the default, not to 0.
+    {
+        ScopedEnv e(var, "garbage");
+        EXPECT_DOUBLE_EQ(env::resolveDouble(std::nullopt, var, 1.5),
+                         1.5);
+        EXPECT_EQ(env::resolveUnsigned(std::nullopt, var, 6u), 6u);
+    }
+}
+
+TEST(Env, RunConfigFromEnvUsesAccessor)
+{
+    // The original DET-002 call sites, end to end through the
+    // accessor: SOEFAIR_FASTFORWARD / SOEFAIR_SCALE.
+    using soefair::harness::RunConfig;
+    {
+        ScopedEnv ff("SOEFAIR_FASTFORWARD", "off");
+        ScopedEnv sc("SOEFAIR_SCALE", nullptr);
+        EXPECT_FALSE(RunConfig::fromEnv().fastForward);
+    }
+    {
+        ScopedEnv ff("SOEFAIR_FASTFORWARD", nullptr);
+        ScopedEnv sc("SOEFAIR_SCALE", "0.5");
+        RunConfig base;
+        const RunConfig rc = RunConfig::fromEnv(base);
+        EXPECT_TRUE(rc.fastForward);
+        EXPECT_EQ(rc.measureInstrs, base.measureInstrs / 2);
+    }
+}

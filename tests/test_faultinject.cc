@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "harness/env.hh"
 #include "sim/errors.hh"
 #include "sim/faultinject.hh"
 
@@ -23,8 +24,8 @@ namespace
 std::string
 scratchDir()
 {
-    const char *tmp = std::getenv("TMPDIR");
-    return tmp && *tmp ? std::string(tmp) : std::string("/tmp");
+    const std::string tmp = harness::env::getOr("TMPDIR", "");
+    return tmp.empty() ? std::string("/tmp") : tmp;
 }
 
 } // namespace

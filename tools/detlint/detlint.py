@@ -1,0 +1,978 @@
+#!/usr/bin/env python3
+"""detlint - determinism & concurrency static analysis for soefair.
+
+Enforces the simulator's determinism and concurrency contracts as
+named, baselined rules (see docs/correctness.md, "Determinism &
+concurrency contracts"):
+
+  DET-001  no wall-clock / rand() / locale / PID-dependent values in
+           model code (src/{sim,cpu,mem,soe,workload}); timing belongs
+           in the harness supervisor and bench/perf_* only.
+  DET-002  no std::getenv outside the single whitelisted accessor
+           (src/harness/env.cc).
+  DET-003  no unordered containers or pointer-keyed ordered containers
+           in code that feeds statistics::, payload codecs or CSV
+           emitters (iteration order would be hash- or
+           allocation-address-dependent).
+  DET-004  no uninitialized scalar/pointer members in aggregate
+           structs declared in src/ headers (state reachable from
+           System / SoeEngine must not depend on indeterminate reads).
+  CONC-001 in files opted in with `// detlint: conc-optin`, every
+           mutable data member must carry a capability annotation
+           (SOE_GUARDED_BY / SOE_PT_GUARDED_BY) or an ownership tag
+           (SOE_THREAD_OWNED) from src/sim/annotations.hh.
+
+Backends
+--------
+The default backend is a dependency-free token analysis: comments and
+string literals are stripped (line-preserving), then rule matchers run
+over the token text; DET-004 / CONC-001 use a brace-tracking member
+parser. When the `clang` Python package (libclang) is importable, the
+member-level rules are additionally cross-checked on the real AST via
+`--backend libclang` using the compile database (--compile-db).
+Documented clang-query one-liners for manual cross-checks live in
+tools/detlint/README.md.
+
+Suppressions
+------------
+  // detlint: allow(DET-002)       suppress rule(s) on this line
+  // NOLINT(DET-004)               same, clang-tidy spelling
+  // detlint: skip-file            exempt the whole file
+  // detlint: conc-optin           opt the file into CONC-001
+
+Exit status: 0 clean (or all findings baselined), 1 new findings,
+2 usage/setup error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass, field as dataclass_field
+
+RULES = {
+    "DET-001": "no wall-clock/rand/locale/PID values in model code",
+    "DET-002": "no std::getenv outside the whitelisted accessor",
+    "DET-003": "no unordered/pointer-keyed containers feeding "
+               "deterministic output",
+    "DET-004": "no uninitialized scalar members in aggregate structs",
+    "CONC-001": "mutable members need capability/ownership "
+                "annotations in opted-in files",
+}
+
+# --- rule scopes (paths are '/'-separated, relative to the repo) ----
+
+DET001_DIRS = ("src/sim/", "src/cpu/", "src/mem/", "src/soe/",
+               "src/workload/")
+DET002_WHITELIST = ("src/harness/env.cc",)
+DET003_PREFIXES = ("src/stats/", "src/harness/", "bench/",
+                   "src/core/metrics")
+DET004_PREFIXES = ("src/",)
+SCAN_DIRS = ("src", "bench", "tools", "tests", "examples")
+CXX_EXTENSIONS = (".cc", ".hh", ".h", ".cpp", ".hpp")
+
+ANNOTATION_MACROS = (
+    "SOE_GUARDED_BY",
+    "SOE_PT_GUARDED_BY",
+    "SOE_THREAD_OWNED",
+)
+
+DET001_PATTERNS = [
+    (re.compile(r"\b(time|clock|clock_gettime|gettimeofday|"
+                r"localtime|localtime_r|gmtime|gmtime_r|strftime|"
+                r"mktime|timespec_get)\s*\("),
+     "wall-clock read"),
+    (re.compile(r"\bstd::chrono\b"), "std::chrono clock"),
+    (re.compile(r"\b(system_clock|steady_clock|"
+                r"high_resolution_clock)\b"),
+     "chrono clock type"),
+    (re.compile(r"\b(rand|srand|random|srandom|drand48|lrand48|"
+                r"mrand48|rand_r)\s*\("),
+     "libc PRNG"),
+    (re.compile(r"\bstd::random_device\b"), "std::random_device"),
+    (re.compile(r"\b(getpid|gettid|pthread_self)\s*\("),
+     "process/thread id"),
+    (re.compile(r"\b(setlocale|localeconv)\s*\("), "locale call"),
+    (re.compile(r"\bstd::locale\b"), "std::locale"),
+]
+
+DET002_PATTERN = re.compile(r"\bgetenv\s*\(")
+
+DET003_UNORDERED = re.compile(
+    r"\b(?:std::)?(unordered_map|unordered_set|unordered_multimap|"
+    r"unordered_multiset)\s*<")
+DET003_PTR_KEYED = re.compile(
+    r"\bstd::(map|set|multimap|multiset)\s*<\s*[A-Za-z_][\w:<>\s]*?"
+    r"\*\s*[,>]")
+
+SCALAR_TYPE = re.compile(
+    r"^(?:(?:std::)?(?:u?int(?:8|16|32|64|ptr|max)?_t|size_t|"
+    r"ptrdiff_t)|bool|char|short|int|long|unsigned|signed|float|"
+    r"double|Tick|Addr|Cycles|ThreadID)\b")
+
+IDENT = re.compile(r"[A-Za-z_]\w*")
+
+ALLOW_DIRECTIVE = re.compile(
+    r"(?:detlint:\s*allow|NOLINT)\(([^)]*)\)")
+SKIP_FILE_DIRECTIVE = "detlint: skip-file"
+CONC_OPTIN_DIRECTIVE = "detlint: conc-optin"
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+    def sort_key(self):
+        return (self.path, self.line, self.rule, self.message)
+
+
+@dataclass
+class FileDirectives:
+    skip_file: bool = False
+    conc_optin: bool = False
+    #: line number -> set of rule ids allowed (empty set = all)
+    allowed: dict = dataclass_field(default_factory=dict)
+
+    def is_allowed(self, rule: str, line: int) -> bool:
+        if self.skip_file:
+            return True
+        rules = self.allowed.get(line)
+        if rules is None:
+            return False
+        return not rules or rule in rules
+
+
+def scan_directives(raw: str) -> FileDirectives:
+    d = FileDirectives()
+    if SKIP_FILE_DIRECTIVE in raw:
+        d.skip_file = True
+    if CONC_OPTIN_DIRECTIVE in raw:
+        d.conc_optin = True
+    for lineno, line in enumerate(raw.splitlines(), start=1):
+        m = ALLOW_DIRECTIVE.search(line)
+        if m:
+            rules = {r.strip() for r in m.group(1).split(",")
+                     if r.strip()}
+            d.allowed[lineno] = rules
+    return d
+
+
+def strip_comments_and_strings(raw: str) -> str:
+    """Blank out comments, string and char literals, preserving the
+    position of every remaining character (newlines survive)."""
+    out = []
+    i, n = 0, len(raw)
+    while i < n:
+        c = raw[i]
+        nxt = raw[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and raw[i] != "\n":
+                out.append(" ")
+                i += 1
+        elif c == "/" and nxt == "*":
+            out.append("  ")
+            i += 2
+            while i < n and not (raw[i] == "*" and i + 1 < n and
+                                 raw[i + 1] == "/"):
+                out.append("\n" if raw[i] == "\n" else " ")
+                i += 1
+            if i < n:
+                out.append("  ")
+                i += 2
+        elif c == '"' or c == "'":
+            quote = c
+            # Raw strings: R"delim( ... )delim"
+            if (quote == '"' and i >= 1 and raw[i - 1] == "R" and
+                    (i < 2 or not raw[i - 2].isalnum())):
+                m = re.match(r'R"([^(\s]*)\(', raw[i - 1:])
+                if m:
+                    end = raw.find(f'){m.group(1)}"', i)
+                    if end < 0:
+                        end = n
+                    else:
+                        end += len(m.group(1)) + 2
+                    seg = raw[i:end]
+                    out.append("".join(
+                        "\n" if ch == "\n" else " " for ch in seg))
+                    i = end
+                    continue
+            out.append(" ")
+            i += 1
+            while i < n and raw[i] != quote:
+                if raw[i] == "\\" and i + 1 < n:
+                    out.append("  ")
+                    i += 2
+                else:
+                    out.append("\n" if raw[i] == "\n" else " ")
+                    i += 1
+            if i < n:
+                out.append(" ")
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, pos: int) -> int:
+    return text.count("\n", 0, pos) + 1
+
+
+# --- token rules ----------------------------------------------------
+
+
+def check_det001(path: str, text: str):
+    seen_lines = set()
+    for pattern, label in DET001_PATTERNS:
+        for m in pattern.finditer(text):
+            # One finding per line: overlapping patterns (e.g.
+            # 'std::chrono' and 'steady_clock') describe one offense.
+            line = line_of(text, m.start())
+            if line in seen_lines:
+                continue
+            seen_lines.add(line)
+            yield Finding(
+                path, line, "DET-001",
+                f"forbidden non-deterministic source '{m.group(0).strip()}'"
+                f" ({label}) in model code; timing belongs in "
+                "src/harness or bench/perf_*")
+
+
+def check_det002(path: str, text: str):
+    for m in DET002_PATTERN.finditer(text):
+        yield Finding(
+            path, line_of(text, m.start()), "DET-002",
+            "getenv outside the whitelisted accessor; route the read "
+            "through harness/env.hh")
+
+
+def check_det003(path: str, text: str):
+    for m in DET003_UNORDERED.finditer(text):
+        yield Finding(
+            path, line_of(text, m.start()), "DET-003",
+            f"unordered container '{m.group(1)}' in deterministic-"
+            "output code (hash/address-dependent iteration order); "
+            "use an ordered container or sort before emitting")
+    for m in DET003_PTR_KEYED.finditer(text):
+        yield Finding(
+            path, line_of(text, m.start()), "DET-003",
+            f"pointer-keyed 'std::{m.group(1)}' in deterministic-"
+            "output code (allocation-address-dependent order); key "
+            "by a stable id instead")
+
+
+# --- member parser (DET-004 / CONC-001) -----------------------------
+
+
+@dataclass
+class Member:
+    name: str
+    line: int
+    chunk: str
+    has_init: bool
+    is_scalar: bool
+    is_pointer: bool
+    is_static: bool
+    is_const: bool
+    is_reference: bool
+    is_bitfield: bool
+    has_annotation: bool
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    kind: str  # struct | class | union
+    line: int
+    has_ctor: bool = False
+    members: list = dataclass_field(default_factory=list)
+
+
+_ANN_MARKER = {
+    "SOE_GUARDED_BY": "__DETLINT_ANN_GUARDED__",
+    "SOE_PT_GUARDED_BY": "__DETLINT_ANN_PTGUARDED__",
+    "SOE_THREAD_OWNED": "__DETLINT_ANN_OWNED__",
+}
+
+
+def _mask_annotations(text: str) -> str:
+    """Replace annotation macros (and their parenthesized argument)
+    with paren-free marker tokens, so '(' detection in the member
+    parser is not confused. Newlines inside a masked span are kept so
+    line numbers stay stable."""
+    def make_repl(marker):
+        def repl(m):
+            return marker + "\n" * m.group(0).count("\n")
+        return repl
+
+    for macro, marker in _ANN_MARKER.items():
+        text = re.sub(r"\b" + macro + r"\s*\([^()]*\)",
+                      make_repl(marker), text)
+    # Mask remaining SOE_* attribute macros (SOE_REQUIRES etc.) the
+    # same way so their parens don't look like function declarators.
+    text = re.sub(r"\bSOE_[A-Z_]+\s*\([^()]*\)",
+                  make_repl("__DETLINT_ANN_OTHER__"), text)
+    return text
+
+
+def strip_preprocessor(text: str) -> str:
+    """Blank out preprocessor directives (including backslash
+    continuations), preserving newlines. The member parser and the
+    token rules both run on directive-free text: macro *definitions*
+    are not analyzable as code."""
+    out = []
+    cont = False
+    for line in text.split("\n"):
+        if cont or line.lstrip().startswith("#"):
+            cont = line.rstrip().endswith("\\")
+            out.append("")
+        else:
+            cont = False
+            out.append(line)
+    return "\n".join(out)
+
+
+def _top_level_positions(s: str, wanted: str):
+    """Positions of `wanted` chars at paren/angle/bracket depth 0.
+    Angle brackets are only tracked up to the first top-level '='
+    (after which '<' is likely a comparison)."""
+    depth_paren = depth_angle = depth_bracket = depth_brace = 0
+    seen_eq = False
+    out = []
+    i, n = 0, len(s)
+    while i < n:
+        c = s[i]
+        nxt = s[i + 1] if i + 1 < n else ""
+        at_top = (depth_paren == 0 and depth_angle == 0 and
+                  depth_bracket == 0 and depth_brace == 0)
+        if c in wanted and at_top:
+            if c == "=" and (nxt == "=" or (i > 0 and
+                                            s[i - 1] in "=<>!+-*/&|^")):
+                pass  # comparison/compound, not an initializer
+            else:
+                out.append(i)
+                if c == "=":
+                    seen_eq = True
+        if c == "(":
+            depth_paren += 1
+        elif c == ")":
+            depth_paren = max(0, depth_paren - 1)
+        elif c == "[":
+            depth_bracket += 1
+        elif c == "]":
+            depth_bracket = max(0, depth_bracket - 1)
+        elif c == "{":
+            depth_brace += 1
+        elif c == "}":
+            depth_brace = max(0, depth_brace - 1)
+        elif c == "<" and not seen_eq:
+            if c == nxt:  # <<
+                i += 1
+            else:
+                depth_angle += 1
+        elif c == ">" and not seen_eq:
+            if i > 0 and s[i - 1] == "-":  # ->
+                pass
+            elif c == nxt:  # >>
+                depth_angle = max(0, depth_angle - 2)
+                i += 1
+            else:
+                depth_angle = max(0, depth_angle - 1)
+        i += 1
+    return out
+
+
+def _normalize_operators(s: str) -> str:
+    return re.sub(r"\boperator\s*(\(\)|\[\]|[^\s(]{1,3})",
+                  "operator_fn", s)
+
+
+def _analyze_chunk(chunk: str, line: int, had_brace_init: bool,
+                   is_bitfield: bool):
+    """Classify one class-scope declaration chunk.
+
+    Returns ('member', Member), ('function', name) or None."""
+    s = chunk.strip()
+    if not s:
+        return None
+    if re.match(r"^(using|typedef|friend|template|static_assert|"
+                r"enum|namespace|extern|public|private|protected)\b",
+                s):
+        return None
+    if re.match(r"^(class|struct|union)\b[^;]*$", s):
+        return None  # forward declaration remnants
+    has_annotation = any(m in s for m in _ANN_MARKER.values())
+    s_norm = _normalize_operators(s)
+    parens = _top_level_positions(s_norm, "(")
+    eqs = _top_level_positions(s_norm, "=")
+    if parens and (not eqs or parens[0] < eqs[0]):
+        before = s_norm[:parens[0]]
+        ids = IDENT.findall(before)
+        return ("function", ids[-1] if ids else "")
+    is_static = bool(re.search(r"\b(static|constexpr|constinit)\b",
+                               s_norm))
+    declarator_src = s_norm
+    # Type/qualifier inspection uses the part before the first '='.
+    head = s_norm[:eqs[0]] if eqs else s_norm
+    is_const = bool(re.search(r"\bconst\b", head))
+    is_reference = "&" in head
+    is_pointer = "*" in head
+    has_init = bool(eqs) or had_brace_init
+    # Name: last identifier of the declarator head, ignoring the
+    # annotation markers and array brackets.
+    head_clean = head
+    for marker in _ANN_MARKER.values():
+        head_clean = head_clean.replace(marker, " ")
+    head_clean = re.sub(r"\[[^\]]*\]", " ", head_clean)
+    ids = IDENT.findall(head_clean)
+    if not ids:
+        return None
+    name = ids[-1]
+    # Type text: everything before the member name's last occurrence.
+    type_text = head_clean[:head_clean.rfind(name)].strip()
+    type_text = re.sub(r"^\s*(mutable|volatile|inline|static|"
+                       r"constexpr|constinit|const)\b\s*", "",
+                       type_text)
+    type_text = re.sub(r"^\s*(mutable|volatile|const)\b\s*", "",
+                       type_text)
+    is_scalar = bool(SCALAR_TYPE.match(type_text)) and \
+        "<" not in type_text
+    if not type_text:
+        return None  # label or stray token, not a declaration
+    return ("member", Member(
+        name=name, line=line, chunk=s, has_init=has_init,
+        is_scalar=is_scalar, is_pointer=is_pointer,
+        is_static=is_static, is_const=is_const,
+        is_reference=is_reference, is_bitfield=is_bitfield,
+        has_annotation=has_annotation))
+
+
+def parse_classes(text: str):
+    """Brace-tracking scan of (stripped, annotation-masked) C++
+    yielding ClassInfo for every class/struct/union body, including
+    nested ones."""
+    classes = []
+    # Scope stack entries: dict(kind=..., cls=ClassInfo or None)
+    stack = [{"kind": "top", "cls": None}]
+    buf = []
+    buf_start = 0  # position where the current chunk began
+    had_brace_init = False
+    is_bitfield = False
+    i, n = 0, len(text)
+
+    def current():
+        return stack[-1]
+
+    def flush_chunk(end_pos):
+        nonlocal buf, buf_start, had_brace_init, is_bitfield
+        scope = current()
+        chunk = "".join(buf)
+        if scope["kind"] == "class" and scope["cls"] is not None:
+            res = _analyze_chunk(chunk, line_of(text, buf_start),
+                                 had_brace_init, is_bitfield)
+            if res:
+                kind, payload = res
+                if kind == "member":
+                    scope["cls"].members.append(payload)
+                elif kind == "function":
+                    cls_name = scope["cls"].name
+                    if payload == cls_name:
+                        scope["cls"].has_ctor = True
+        buf = []
+        buf_start = end_pos + 1
+        had_brace_init = False
+        is_bitfield = False
+
+    paren_depth = 0
+    angle_depth = 0
+
+    while i < n:
+        c = text[i]
+        # A chunk starts at its first non-space character; leading
+        # whitespace is never buffered, so buf_start (and thus the
+        # reported line) always points at real text.
+        if not buf:
+            if c.isspace():
+                i += 1
+                continue
+            if c not in "{};":
+                buf_start = i
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "(":
+            paren_depth += 1
+            buf.append(c)
+        elif c == ")":
+            paren_depth = max(0, paren_depth - 1)
+            buf.append(c)
+        elif c == "<" and paren_depth == 0:
+            if nxt == "<":
+                buf.append("<<")
+                i += 1
+            else:
+                # Heuristic: template bracket if preceded by ident.
+                prev = "".join(buf).rstrip()[-1:] if buf else ""
+                if prev and (prev.isalnum() or prev in "_>,:"):
+                    angle_depth += 1
+                buf.append(c)
+        elif c == ">" and paren_depth == 0:
+            if buf and buf[-1] == "-":
+                buf.append(c)
+            elif nxt == ">" and angle_depth >= 2:
+                angle_depth -= 2
+                buf.append(">>")
+                i += 1
+            else:
+                angle_depth = max(0, angle_depth - 1)
+                buf.append(c)
+        elif c == "{" and paren_depth == 0 and angle_depth == 0:
+            chunk = "".join(buf)
+            chunk_norm = _normalize_operators(chunk.strip())
+            kind = None
+            cls = None
+            if re.search(r"\bnamespace\b", chunk_norm):
+                kind = "namespace"
+            elif re.search(r"\benum\b", chunk_norm):
+                kind = "enum"
+            else:
+                cm = list(re.finditer(r"\b(class|struct|union)\b",
+                                      chunk_norm))
+                parens = _top_level_positions(chunk_norm, "(")
+                eqs = _top_level_positions(chunk_norm, "=")
+                starts_fn = parens and (not eqs or
+                                        parens[0] < eqs[0])
+                if cm and not starts_fn:
+                    kind = "class"
+                    after = chunk_norm[cm[-1].end():]
+                    # Name: identifier after the keyword, before any
+                    # base-clause colon.
+                    after = after.split(":", 1)[0]
+                    ids = IDENT.findall(after)
+                    # Skip 'final' and masked attribute macros.
+                    ids = [x for x in ids if x != "final" and
+                           not x.startswith("__DETLINT_ANN")]
+                    cname = ids[0] if ids else "<anonymous>"
+                    cls = ClassInfo(cname, cm[-1].group(1),
+                                    line_of(text, i))
+                    classes.append(cls)
+                elif starts_fn:
+                    kind = "block"
+                elif current()["kind"] == "class":
+                    # Member brace-initializer: consume to matching
+                    # '}' as part of the declaration chunk.
+                    depth = 1
+                    j = i + 1
+                    while j < n and depth:
+                        if text[j] == "{":
+                            depth += 1
+                        elif text[j] == "}":
+                            depth -= 1
+                        j += 1
+                    had_brace_init = True
+                    buf.append(" ")
+                    i = j
+                    continue
+                elif current()["kind"] in ("top", "namespace"):
+                    kind = "namespace"  # extern "C" etc: transparent
+                else:
+                    kind = "block"
+            if kind == "block":
+                # Skip the body wholesale.
+                depth = 1
+                j = i + 1
+                while j < n and depth:
+                    if text[j] == "{":
+                        depth += 1
+                    elif text[j] == "}":
+                        depth -= 1
+                    j += 1
+                # In-class function definition: still counts for
+                # constructor detection.
+                flush_chunk(j - 1)
+                i = j
+                continue
+            stack.append({"kind": kind, "cls": cls})
+            buf = []
+            buf_start = i + 1
+            had_brace_init = False
+            is_bitfield = False
+        elif c == "}" and paren_depth == 0:
+            flush_chunk(i)
+            if len(stack) > 1:
+                stack.pop()
+        elif c == ";" and paren_depth == 0 and angle_depth == 0:
+            flush_chunk(i)
+        elif c == ":" and paren_depth == 0 and angle_depth == 0:
+            if nxt == ":":
+                buf.append("::")
+                i += 1
+            else:
+                stripped = "".join(buf).strip()
+                if current()["kind"] == "class" and stripped in (
+                        "public", "private", "protected"):
+                    buf = []
+                    buf_start = i + 1
+                elif (current()["kind"] == "class" and stripped and
+                      "(" not in stripped and "=" not in stripped and
+                      not re.search(r"\b(class|struct|union|enum)\b",
+                                    stripped)):
+                    is_bitfield = True
+                    buf.append(c)
+                else:
+                    buf.append(c)
+        else:
+            buf.append(c)
+        i += 1
+    return classes
+
+
+def check_det004(path: str, text: str):
+    for cls in parse_classes(text):
+        if cls.kind == "union" or cls.has_ctor:
+            continue
+        for m in cls.members:
+            if (m.is_static or m.is_const or m.is_reference or
+                    m.is_bitfield or m.has_init):
+                continue
+            if m.is_scalar or m.is_pointer:
+                what = "scalar" if m.is_scalar else "pointer"
+                yield Finding(
+                    path, m.line, "DET-004",
+                    f"{what} member '{cls.name}::{m.name}' of an "
+                    "aggregate has no initializer (indeterminate "
+                    "reads are a nondeterminism hazard); add '= ...' "
+                    "or '{}'")
+
+
+def check_conc001(path: str, text: str):
+    for cls in parse_classes(text):
+        for m in cls.members:
+            # References cannot be reseated; ownership is annotated
+            # where the referent itself is declared.
+            if (m.is_static or m.is_const or m.is_reference or
+                    m.has_annotation):
+                continue
+            yield Finding(
+                path, m.line, "CONC-001",
+                f"mutable member '{cls.name}::{m.name}' lacks a "
+                "capability/ownership annotation (SOE_GUARDED_BY / "
+                "SOE_PT_GUARDED_BY / SOE_THREAD_OWNED); this file is "
+                "conc-optin")
+
+
+# --- libclang backend (optional cross-check) ------------------------
+
+
+def libclang_available() -> bool:
+    try:
+        import clang.cindex  # noqa: F401
+        return True
+    except Exception:
+        return False
+
+
+def check_file_libclang(root, relpath, compile_db, directives):
+    """AST-based member checks (DET-004 / CONC-001 / DET-003
+    range-for precision). Best-effort: any libclang failure returns
+    None so the caller falls back to the token backend."""
+    try:
+        import clang.cindex as ci
+        index = ci.Index.create()
+        args = ["-std=c++20", f"-I{os.path.join(root, 'src')}"]
+        if compile_db:
+            try:
+                db = ci.CompilationDatabase.fromDirectory(compile_db)
+                cmds = db.getCompileCommands(
+                    os.path.join(root, relpath))
+                if cmds:
+                    args = [a for a in list(cmds[0].arguments)[1:-1]
+                            if a != "-c" and not a.endswith(".cc")]
+            except Exception:
+                pass
+        tu = index.parse(os.path.join(root, relpath), args=args)
+        findings = []
+        raw_lines = None
+
+        def field_has_annotation(cursor):
+            nonlocal raw_lines
+            if raw_lines is None:
+                with open(os.path.join(root, relpath),
+                          encoding="utf-8",
+                          errors="replace") as f:
+                    raw_lines = f.read().splitlines()
+            ln = cursor.location.line
+            seg = " ".join(raw_lines[max(0, ln - 1):ln + 1])
+            return any(m in seg for m in ANNOTATION_MACROS)
+
+        def record_is_aggregate(cursor):
+            import clang.cindex as cci
+            for ch in cursor.get_children():
+                if ch.kind in (cci.CursorKind.CONSTRUCTOR,
+                               cci.CursorKind.DESTRUCTOR):
+                    return False
+            return True
+
+        def walk(cursor):
+            import clang.cindex as cci
+            for ch in cursor.get_children():
+                loc = ch.location
+                if (loc.file and
+                        os.path.abspath(str(loc.file)) ==
+                        os.path.abspath(
+                            os.path.join(root, relpath))):
+                    if ch.kind in (cci.CursorKind.STRUCT_DECL,
+                                   cci.CursorKind.CLASS_DECL) and \
+                            ch.is_definition():
+                        aggregate = record_is_aggregate(ch)
+                        for f_ in ch.get_children():
+                            if f_.kind != cci.CursorKind.FIELD_DECL:
+                                continue
+                            t = f_.type
+                            scalarish = t.kind in (
+                                cci.TypeKind.BOOL, cci.TypeKind.INT,
+                                cci.TypeKind.UINT, cci.TypeKind.LONG,
+                                cci.TypeKind.ULONG,
+                                cci.TypeKind.LONGLONG,
+                                cci.TypeKind.ULONGLONG,
+                                cci.TypeKind.SHORT,
+                                cci.TypeKind.USHORT,
+                                cci.TypeKind.CHAR_S,
+                                cci.TypeKind.UCHAR,
+                                cci.TypeKind.FLOAT,
+                                cci.TypeKind.DOUBLE,
+                                cci.TypeKind.POINTER,
+                                cci.TypeKind.ENUM,
+                                cci.TypeKind.TYPEDEF,
+                            )
+                            has_init = any(
+                                True for _ in f_.get_children())
+                            if (aggregate and scalarish and
+                                    not has_init and
+                                    rule_applies("DET-004",
+                                                 relpath,
+                                                 directives)):
+                                findings.append(Finding(
+                                    relpath, f_.location.line,
+                                    "DET-004",
+                                    f"scalar member "
+                                    f"'{ch.spelling}::{f_.spelling}'"
+                                    " of an aggregate has no "
+                                    "initializer (libclang)"))
+                            if (directives.conc_optin and
+                                    not field_has_annotation(f_)):
+                                findings.append(Finding(
+                                    relpath, f_.location.line,
+                                    "CONC-001",
+                                    f"mutable member "
+                                    f"'{ch.spelling}::{f_.spelling}'"
+                                    " lacks a capability/ownership "
+                                    "annotation (libclang)"))
+                walk(ch)
+
+        walk(tu.cursor)
+        return findings
+    except Exception:
+        return None
+
+
+# --- scoping --------------------------------------------------------
+
+
+def rule_applies(rule: str, relpath: str,
+                 directives: FileDirectives | None = None) -> bool:
+    p = relpath.replace(os.sep, "/")
+    if rule == "DET-001":
+        return p.startswith(DET001_DIRS)
+    if rule == "DET-002":
+        return p not in DET002_WHITELIST
+    if rule == "DET-003":
+        return p.startswith(DET003_PREFIXES)
+    if rule == "DET-004":
+        return p.startswith(DET004_PREFIXES) and p.endswith(
+            (".hh", ".h", ".hpp"))
+    if rule == "CONC-001":
+        return directives is not None and directives.conc_optin
+    return False
+
+
+def check_file(root: str, relpath: str, backend: str,
+               compile_db: str | None):
+    full = os.path.join(root, relpath)
+    try:
+        with open(full, encoding="utf-8", errors="replace") as f:
+            raw = f.read()
+    except OSError as e:
+        print(f"detlint: cannot read {relpath}: {e}",
+              file=sys.stderr)
+        return []
+    directives = scan_directives(raw)
+    if directives.skip_file:
+        return []
+    stripped = strip_preprocessor(strip_comments_and_strings(raw))
+    masked = _mask_annotations(stripped)
+
+    findings = []
+    if rule_applies("DET-001", relpath):
+        findings.extend(check_det001(relpath, stripped))
+    if rule_applies("DET-002", relpath):
+        findings.extend(check_det002(relpath, stripped))
+    if rule_applies("DET-003", relpath):
+        findings.extend(check_det003(relpath, stripped))
+
+    member_findings = None
+    if backend == "libclang":
+        member_findings = check_file_libclang(
+            root, relpath, compile_db, directives)
+        if member_findings is None:
+            print(f"detlint: libclang failed on {relpath}; "
+                  "falling back to the token backend",
+                  file=sys.stderr)
+    if member_findings is None:
+        member_findings = []
+        if rule_applies("DET-004", relpath):
+            member_findings.extend(check_det004(relpath, masked))
+        if rule_applies("CONC-001", relpath, directives):
+            member_findings.extend(check_conc001(relpath, masked))
+    findings.extend(member_findings)
+
+    return [f for f in findings
+            if not directives.is_allowed(f.rule, f.line)]
+
+
+def discover_files(root: str):
+    out = []
+    for top in SCAN_DIRS:
+        base = os.path.join(root, top)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames.sort()
+            # Never descend into build or fixture trees.
+            dirnames[:] = [d for d in dirnames
+                           if d not in ("build", "fixtures",
+                                        "__pycache__")]
+            for fn in sorted(filenames):
+                if fn.endswith(CXX_EXTENSIONS):
+                    out.append(os.path.relpath(
+                        os.path.join(dirpath, fn), root))
+    return out
+
+
+# --- baseline -------------------------------------------------------
+
+
+def load_baseline(path: str):
+    entries = set()
+    if not path or not os.path.exists(path):
+        return entries
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                entries.add(line)
+    return entries
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="detlint",
+        description="determinism & concurrency lint for soefair")
+    ap.add_argument("files", nargs="*",
+                    help="files to check (default: the whole tree)")
+    ap.add_argument("--root", default=None,
+                    help="repository root (default: two levels up "
+                         "from this script)")
+    ap.add_argument("--baseline", default=None,
+                    help="baseline file of grandfathered findings")
+    ap.add_argument("--backend",
+                    choices=("auto", "text", "libclang"),
+                    default="auto",
+                    help="analysis backend (auto prefers libclang "
+                         "when importable)")
+    ap.add_argument("--compile-db", default=None,
+                    help="directory holding compile_commands.json "
+                         "(libclang backend)")
+    ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline with current findings")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for rid, desc in RULES.items():
+            print(f"{rid}  {desc}")
+        return 0
+
+    root = args.root or os.path.normpath(os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..", ".."))
+    if not os.path.isdir(root):
+        print(f"detlint: root '{root}' is not a directory",
+              file=sys.stderr)
+        return 2
+
+    backend = args.backend
+    if backend == "auto":
+        backend = "libclang" if libclang_available() else "text"
+    if backend == "libclang" and not libclang_available():
+        print("detlint: libclang backend requested but the 'clang' "
+              "python package is not importable", file=sys.stderr)
+        return 2
+
+    if args.files:
+        relpaths = [os.path.relpath(os.path.abspath(f), root)
+                    for f in args.files]
+    else:
+        relpaths = discover_files(root)
+
+    findings = []
+    for rp in relpaths:
+        findings.extend(check_file(root, rp, backend,
+                                   args.compile_db))
+    findings.sort(key=Finding.sort_key)
+    formatted = [f.format() for f in findings]
+
+    if args.update_baseline:
+        if not args.baseline:
+            print("detlint: --update-baseline needs --baseline",
+                  file=sys.stderr)
+            return 2
+        with open(args.baseline, "w", encoding="utf-8") as f:
+            f.write("# detlint baseline: grandfathered findings, one "
+                    "per line.\n# Fix findings rather than adding "
+                    "here; remove lines as they are fixed.\n")
+            for line in formatted:
+                f.write(line + "\n")
+        print(f"detlint: baseline rewritten with {len(formatted)} "
+              f"finding(s)")
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    new = [line for line in formatted if line not in baseline]
+    fixed = sorted(baseline - set(formatted))
+
+    if fixed:
+        print("detlint: baseline entries no longer reported "
+              "(consider removing):")
+        for line in fixed:
+            print(f"  {line}")
+    if new:
+        print("detlint: NEW findings not in the baseline:",
+              file=sys.stderr)
+        for line in new:
+            print(line, file=sys.stderr)
+        print("detlint: fix them or (sparingly) baseline them",
+              file=sys.stderr)
+        return 1
+    print(f"detlint[{backend}]: clean ({len(formatted)} finding(s), "
+          f"all baselined; {len(relpaths)} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

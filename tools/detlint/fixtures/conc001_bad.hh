@@ -1,0 +1,30 @@
+// detlint fixture: a file that opted into the concurrency
+// annotation contract but left members untagged. One CONC-001
+// finding per BAD line.
+// detlint: conc-optin
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/annotations.hh"
+
+namespace soefair
+{
+
+using Tick = std::uint64_t;
+
+class PartiallyAnnotated
+{
+  public:
+    void step();
+
+  private:
+    Tick now SOE_THREAD_OWNED(sim) = 0;        // ok: ownership tag
+    Tick deadline = 0;                         // BAD: untagged
+    std::vector<Tick> pending;                 // BAD: untagged
+    static constexpr unsigned kDepth = 4;      // ok: constexpr
+};
+
+} // namespace soefair

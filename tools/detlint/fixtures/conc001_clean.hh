@@ -1,0 +1,33 @@
+// detlint fixture: clean twin of conc001_bad.hh — opted in, and
+// every mutable member carries an ownership tag or capability
+// annotation. No findings.
+// detlint: conc-optin
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/annotations.hh"
+
+namespace soefair
+{
+
+using Tick = std::uint64_t;
+
+class FullyAnnotated
+{
+  public:
+    void step();
+
+  private:
+    Tick now SOE_THREAD_OWNED(sim) = 0;
+    Tick deadline SOE_THREAD_OWNED(sim) = 0;
+    std::vector<Tick> pending SOE_THREAD_OWNED(sim);
+    int *scratch SOE_PT_GUARDED_BY(mtx) = nullptr;
+    AnnotatedMutex mtx;  // detlint: allow(CONC-001) — is the capability
+    static constexpr unsigned kDepth = 4;
+    const unsigned fixed = 2;
+};
+
+} // namespace soefair

@@ -1,0 +1,44 @@
+// detlint fixture: every line marked BAD below must produce exactly
+// one DET-001 finding when this file is placed under src/sim/.
+// Never compiled; consumed by tools/detlint/selftest.py.
+
+#include <chrono>
+#include <clocale>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <unistd.h>
+
+namespace soefair
+{
+
+unsigned long
+badSeed()
+{
+    unsigned long s = time(nullptr);            // BAD: wall clock
+    s ^= static_cast<unsigned long>(rand());    // BAD: libc PRNG
+    s ^= static_cast<unsigned long>(getpid());  // BAD: process id
+    return s;
+}
+
+double
+badNow()
+{
+    auto t = std::chrono::steady_clock::now();  // BAD: chrono clock
+    return t.time_since_epoch().count();
+}
+
+unsigned
+badEntropy()
+{
+    std::random_device rd;                      // BAD: random_device
+    return rd();
+}
+
+void
+badLocale()
+{
+    setlocale(LC_ALL, "");                      // BAD: locale call
+}
+
+} // namespace soefair

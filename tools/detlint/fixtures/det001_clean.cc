@@ -1,0 +1,44 @@
+// detlint fixture: clean twin of det001_bad.cc. No findings when
+// placed under src/sim/: seeded PRNG, tick arithmetic, and one
+// explicitly suppressed wall-clock read.
+
+#include <cstdint>
+
+namespace soefair
+{
+
+using Tick = std::uint64_t;
+
+/** Seeded, deterministic: identifiers like 'randomValue' or a member
+ *  named 'clock' must not trip the call-site patterns. */
+struct SeededRng
+{
+    std::uint64_t state = 0x9e3779b97f4a7c15ull;
+    std::uint64_t clockTicks = 0;
+
+    std::uint64_t
+    randomValue()
+    {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+    }
+};
+
+Tick
+advance(Tick now, Tick delta)
+{
+    // The word steady_clock inside this comment must not fire.
+    const char *label = "std::chrono::steady_clock";  // nor a string
+    (void)label;
+    return now + delta;
+}
+
+std::uint64_t
+suppressedWallClock()
+{
+    return time(nullptr); // detlint: allow(DET-001) — logged only
+}
+
+} // namespace soefair

@@ -1,0 +1,20 @@
+// detlint fixture: direct getenv outside the whitelisted accessor.
+// One DET-002 finding per BAD line, anywhere except
+// src/harness/env.cc.
+
+#include <cstdlib>
+#include <string>
+
+namespace soefair
+{
+
+std::string
+readKnob()
+{
+    const char *v = std::getenv("SOEFAIR_KNOB");   // BAD: getenv
+    if (!v)
+        v = getenv("SOEFAIR_FALLBACK");            // BAD: getenv
+    return v ? v : "";
+}
+
+} // namespace soefair

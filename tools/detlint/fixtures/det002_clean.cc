@@ -1,0 +1,24 @@
+// detlint fixture: clean twin of det002_bad.cc — environment access
+// goes through the single accessor (harness/env.hh), so there is no
+// getenv call to flag. Mentions of getenv in comments or strings
+// ("getenv(") must not fire either.
+
+#include <string>
+
+namespace soefair::harness::env
+{
+std::string getOr(const char *name, const std::string &fallback);
+}
+
+namespace soefair
+{
+
+std::string
+readKnob()
+{
+    const char *msg = "never call getenv( directly";
+    (void)msg;
+    return harness::env::getOr("SOEFAIR_KNOB", "");
+}
+
+} // namespace soefair

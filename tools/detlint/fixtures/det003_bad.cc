@@ -1,0 +1,22 @@
+// detlint fixture: unordered / pointer-keyed containers in
+// stats-feeding code. One DET-003 finding per BAD line when placed
+// under src/stats/ (or any other DET-003 scope).
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace soefair
+{
+
+struct Group;
+
+struct BadAccumulator
+{
+    std::unordered_map<std::string, double> byName;   // BAD: unordered
+    std::unordered_set<int> seen;                     // BAD: unordered
+    std::map<Group *, double> byGroup;                // BAD: ptr-keyed
+};
+
+} // namespace soefair

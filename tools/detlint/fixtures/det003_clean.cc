@@ -1,0 +1,22 @@
+// detlint fixture: clean twin of det003_bad.cc — ordered containers
+// keyed by values, so iteration order is deterministic.
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace soefair
+{
+
+struct CleanAccumulator
+{
+    std::map<std::string, double> byName;
+    std::set<int> seen;
+    // Keyed by a stable id, not an allocation address.
+    std::map<std::uint64_t, double> byGroupId;
+    std::vector<double> samples;
+};
+
+} // namespace soefair

@@ -1,0 +1,34 @@
+// detlint fixture: aggregate structs (no user-declared constructor)
+// with uninitialized scalar/pointer members: one DET-004 finding
+// per marked line when placed anywhere under src/ as a header.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace soefair
+{
+
+using Tick = std::uint64_t;
+
+struct BadAggregate
+{
+    Tick when;              // BAD: uninitialized scalar
+    unsigned count;         // BAD: uninitialized scalar
+    double *samples;        // BAD: uninitialized pointer
+    bool armed = false;     // ok: initialized
+    std::string name;       // ok: class type, default-constructs
+};
+
+struct BadNested
+{
+    struct Inner
+    {
+        int payload;        // BAD: uninitialized scalar
+    };
+    Inner inner;            // ok: class type
+    std::uint32_t crc;      // BAD: uninitialized scalar
+};
+
+} // namespace soefair

@@ -1,0 +1,52 @@
+// detlint fixture: clean twin of det004_bad.hh — every way a member
+// may legitimately lack an inline '= ...' without tripping DET-004.
+
+#pragma once
+
+#include <cstdint>
+
+namespace soefair
+{
+
+using Tick = std::uint64_t;
+
+/** All scalars initialized in-class. */
+struct CleanAggregate
+{
+    Tick when = 0;
+    unsigned count{0};
+    double *samples = nullptr;
+    bool armed = false;
+};
+
+/** A user-declared constructor takes over initialization, so bare
+ *  members are not flagged. */
+class HasCtor
+{
+  public:
+    HasCtor(Tick when, unsigned count);
+
+  private:
+    Tick when;
+    unsigned count;
+    double scale;
+};
+
+/** static / const / reference / bitfield members are exempt. */
+struct ExemptMembers
+{
+    static int shared;
+    static constexpr unsigned kLimit = 8;
+    const int &bound;
+    unsigned flagA : 1;
+    unsigned flagB : 3;
+};
+
+/** Unions are storage overlays; DET-004 does not apply. */
+union RawBits
+{
+    std::uint64_t u;
+    double d;
+};
+
+} // namespace soefair
