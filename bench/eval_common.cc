@@ -1,11 +1,13 @@
 #include "eval_common.hh"
 
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <set>
 #include <sstream>
 
 #include "harness/env.hh"
+#include "harness/service/service.hh"
 #include "sim/errors.hh"
 #include "sim/logging.hh"
 #include "workload/profile.hh"
@@ -21,21 +23,21 @@ namespace
 {
 
 constexpr const char *cacheFile = "soefair_eval_cache.txt";
-constexpr const char *journalFile = "soefair_eval_journal.jsonl";
-constexpr const char *cacheVersion = "soefair-eval-v1";
+constexpr const char *queueDir = "soefair_eval_queue";
+constexpr const char *resultCacheDir = "soefair_eval_rcache";
+constexpr const char *cacheVersion = "soefair-eval-v2";
 
+/**
+ * Key guarding the assembled-dataset cache file. It embeds the
+ * campaign's full configuration fingerprint (machine + run
+ * parameters + pairs + levels), so *any* configuration change —
+ * not just the handful of fields the v1 key sampled — invalidates
+ * the cache instead of silently serving stale results.
+ */
 std::string
-configKey()
+configKey(const SweepCampaign &campaign)
 {
-    const RunConfig rc = evalRunConfig();
-    const MachineConfig mc = evalMachine();
-    std::ostringstream os;
-    os << cacheVersion << " measure=" << rc.measureInstrs
-       << " warm=" << rc.warmupInstrs
-       << " twarm=" << rc.timingWarmInstrs
-       << " delta=" << mc.soe.delta
-       << " quota=" << mc.soe.maxCyclesQuota;
-    return os.str();
+    return std::string(cacheVersion) + " " + campaign.journalKey();
 }
 
 } // namespace
@@ -61,46 +63,51 @@ levels()
 EvalData
 evaluationData()
 {
+    service::CampaignManifest manifest;
+    manifest.pairs = workload::spec::evaluationPairs();
+    manifest.levels = levels();
+    manifest.rc = evalRunConfig();
+
+    SweepCampaign campaign = service::campaignFromManifest(manifest);
+
     EvalData data;
-    if (loadPairResults(cacheFile, configKey(), data.pairs)) {
+    if (loadPairResults(cacheFile, configKey(campaign), data.pairs)) {
         std::cerr << "[eval] loaded cached sweep from " << cacheFile
                   << "\n";
         return data;
     }
 
-    SweepCampaign campaign(evalMachine(), evalRunConfig(),
-                           workload::spec::evaluationPairs(),
-                           levels());
+    // Run the sweep through the durable job service: jobs live in a
+    // crash-safe queue and results in the verified content-addressed
+    // cache, so a killed bench — or a second figure driver — resumes
+    // and is served from the cache instead of re-simulating.
+    service::ServiceConfig cfg;
+    cfg.queueDir = queueDir;
+    cfg.cacheDir = resultCacheDir;
+    cfg.workerName = "eval";
+    cfg.deadlineSeconds = 3600.0;
+    cfg.leaseSeconds = 300.0;
+    cfg.progress = &std::cerr;
+    cfg.slots = env::resolveUnsigned(std::nullopt,
+                                     "SOEFAIR_EVAL_JOBS", cfg.slots);
 
-    // Resume a compatible journal left by an earlier driver (or a
-    // killed run) so completed jobs — the single-thread baselines in
-    // particular — are replayed instead of re-simulated.
-    bool resume = false;
-    if (std::ifstream(journalFile).good()) {
-        try {
-            const auto ids = campaign.jobIds();
-            loadJournal(journalFile, campaign.journalKey(),
-                        /*tolerate_torn_tail=*/true, &ids);
-            resume = true;
-            std::cerr << "[eval] resuming sweep from " << journalFile
-                      << "\n";
-        } catch (const SimError &e) {
-            warn("ignoring incompatible eval journal: ", e.what());
-        }
+    service::SweepService svc(cfg);
+    try {
+        svc.enqueueCampaign(manifest);
+    } catch (const CheckpointError &e) {
+        // A queue left by a different configuration (e.g. another
+        // SOEFAIR_SCALE): its results are unusable here, so start
+        // over. The result cache stays — it is content-addressed.
+        warn("replacing incompatible eval queue '", queueDir,
+             "': ", e.what());
+        std::filesystem::remove_all(queueDir);
+        svc.enqueueCampaign(manifest);
     }
-    if (!resume) {
-        std::cerr << "[eval] running the 16-pair evaluation sweep "
-                  << "(journal: " << journalFile << ", cache: "
-                  << cacheFile << ")...\n";
-    }
-
-    SupervisorConfig scfg;
-    scfg.deadlineSeconds = 3600.0;
-    scfg.progress = &std::cerr;
-    scfg.jobSlots = env::resolveUnsigned(
-        std::nullopt, "SOEFAIR_EVAL_JOBS", scfg.jobSlots);
-
-    CampaignResult agg = campaign.run(scfg, journalFile, resume);
+    std::cerr << "[eval] draining the evaluation sweep (queue: "
+              << queueDir << ", result cache: " << resultCacheDir
+              << ", dataset cache: " << cacheFile << ")...\n";
+    svc.serve();
+    CampaignResult agg = svc.aggregate();
 
     // Figure drivers index every standard level, so only fully
     // complete pairs are safe to hand them.
@@ -114,11 +121,10 @@ evaluationData()
     data.missing = std::move(agg.missing);
 
     if (data.complete()) {
-        savePairResults(cacheFile, configKey(), data.pairs);
+        savePairResults(cacheFile, configKey(campaign), data.pairs);
     } else {
         warn("evaluation sweep is PARTIAL (", data.missing.size(),
-             " cell(s) missing); re-run to resume from ",
-             journalFile);
+             " cell(s) missing); re-run to resume from ", queueDir);
     }
     return data;
 }

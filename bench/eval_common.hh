@@ -6,8 +6,9 @@
  * pairs, each run single-threaded and under SOE at F = 0, 1/4, 1/2
  * and 1. Running that sweep takes minutes, so the first bench to
  * need it writes a cache file (soefair_eval_cache.txt in the working
- * directory) and the others load it. Delete the file or change
- * SOEFAIR_SCALE to force a re-run.
+ * directory) and the others load it. The cache key is the campaign's
+ * full configuration fingerprint: any configuration change (scale,
+ * machine, levels) invalidates it automatically.
  */
 
 #ifndef SOEFAIR_BENCH_EVAL_COMMON_HH
@@ -45,14 +46,15 @@ struct EvalData
 };
 
 /**
- * Obtain the full evaluation dataset, from the cache file if it
- * matches the current configuration, else by running the sweep
- * under the crash-isolated supervisor (see docs/robustness.md).
- * The sweep journals to soefair_eval_journal.jsonl: a second figure
- * driver — or a re-run after a crash — resumes from the journal and
- * replays completed jobs (single-thread baselines included) instead
- * of re-simulating them. The text cache is written only once the
- * campaign is complete.
+ * Obtain the full evaluation dataset, from the cache file if its
+ * key matches the campaign's full configuration fingerprint, else
+ * by draining the sweep through the durable job service (see
+ * docs/robustness.md): jobs are enqueued into soefair_eval_queue/
+ * and results committed to the content-addressed result cache
+ * soefair_eval_rcache/, so a second figure driver — or a re-run
+ * after a crash — is served from the cache (single-thread baselines
+ * included) instead of re-simulating. The text cache is written
+ * only once the campaign is complete.
  */
 EvalData evaluationData();
 

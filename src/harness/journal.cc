@@ -3,7 +3,6 @@
 #include <fcntl.h>
 #include <unistd.h>
 
-#include <cctype>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -11,6 +10,7 @@
 #include <sstream>
 #include <vector>
 
+#include "harness/jsonl.hh"
 #include "sim/errors.hh"
 
 namespace soefair
@@ -20,102 +20,6 @@ namespace harness
 
 namespace
 {
-
-/**
- * Parse one flat JSON object line into string fields. Only the
- * subset the journal emits is accepted: an object of
- * "key":"string" / "key":integer members. Anything else returns
- * false (the caller decides whether that is a torn tail or
- * corruption).
- */
-bool
-parseFlatJson(const std::string &line,
-              std::map<std::string, std::string> &out)
-{
-    out.clear();
-    std::size_t i = 0;
-    auto skipWs = [&] {
-        while (i < line.size() &&
-               (line[i] == ' ' || line[i] == '\t'))
-            ++i;
-    };
-    auto parseString = [&](std::string &s) {
-        if (i >= line.size() || line[i] != '"')
-            return false;
-        ++i;
-        s.clear();
-        while (i < line.size() && line[i] != '"') {
-            char c = line[i++];
-            if (c == '\\') {
-                if (i >= line.size())
-                    return false;
-                char e = line[i++];
-                switch (e) {
-                  case '"': s += '"'; break;
-                  case '\\': s += '\\'; break;
-                  case 'n': s += '\n'; break;
-                  case 't': s += '\t'; break;
-                  default: return false;
-                }
-            } else {
-                s += c;
-            }
-        }
-        if (i >= line.size())
-            return false;
-        ++i; // closing quote
-        return true;
-    };
-
-    skipWs();
-    if (i >= line.size() || line[i] != '{')
-        return false;
-    ++i;
-    skipWs();
-    if (i < line.size() && line[i] == '}') {
-        ++i;
-    } else {
-        for (;;) {
-            skipWs();
-            std::string key;
-            if (!parseString(key))
-                return false;
-            skipWs();
-            if (i >= line.size() || line[i] != ':')
-                return false;
-            ++i;
-            skipWs();
-            std::string val;
-            if (i < line.size() && line[i] == '"') {
-                if (!parseString(val))
-                    return false;
-            } else {
-                // Bare integer.
-                std::size_t start = i;
-                while (i < line.size() &&
-                       (std::isdigit(unsigned(line[i])) ||
-                        line[i] == '-'))
-                    ++i;
-                if (i == start)
-                    return false;
-                val = line.substr(start, i - start);
-            }
-            out[key] = val;
-            skipWs();
-            if (i < line.size() && line[i] == ',') {
-                ++i;
-                continue;
-            }
-            break;
-        }
-        skipWs();
-        if (i >= line.size() || line[i] != '}')
-            return false;
-        ++i;
-    }
-    skipWs();
-    return i == line.size();
-}
 
 unsigned
 parseAttempt(const std::map<std::string, std::string> &fields,
@@ -147,18 +51,7 @@ field(const std::map<std::string, std::string> &fields,
 std::string
 journalEscape(const std::string &s)
 {
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default: out += c;
-        }
-    }
-    return out;
+    return jsonlEscape(s);
 }
 
 JournalWriter::~JournalWriter()
@@ -179,13 +72,38 @@ JournalWriter::create(const std::string &path, const std::string &key)
     std::ostringstream os;
     os << "{\"journal\":\"soefair-sweep\",\"v\":" << journalVersion
        << ",\"key\":\"" << journalEscape(key) << "\"}";
-    writeLine(os.str());
+    writeLine(jsonlSealLine(os.str()));
 }
 
 void
 JournalWriter::openAppend(const std::string &path)
 {
     close();
+    // A kill mid-append can leave a torn final line; appending
+    // directly after the fragment would merge two records into one
+    // malformed line and break the *next* resume. Resume-mode
+    // loading already dropped the fragment, so cut it off here too.
+    {
+        std::ifstream is(path, std::ios::binary);
+        if (is) {
+            std::ostringstream buf;
+            buf << is.rdbuf();
+            const std::string text = buf.str();
+            if (!text.empty() && text.back() != '\n') {
+                const std::size_t nl = text.rfind('\n');
+                const std::size_t keep =
+                    nl == std::string::npos ? 0 : nl + 1;
+                warn("journal '", path, "': truncating torn final ",
+                     "line (", text.size() - keep,
+                     " bytes) before append");
+                if (::truncate(path.c_str(), off_t(keep)) != 0) {
+                    raiseError<CheckpointError>(
+                        "journal '", path, "': cannot truncate torn ",
+                        "tail: ", std::strerror(errno));
+                }
+            }
+        }
+    }
     fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
     if (fd < 0) {
         raiseError<CheckpointError>("cannot append to journal '",
@@ -236,7 +154,7 @@ JournalWriter::append(const JournalRecord &rec)
     if (!rec.detail.empty())
         os << ",\"detail\":\"" << journalEscape(rec.detail) << "\"";
     os << "}";
-    writeLine(os.str());
+    writeLine(jsonlSealLine(os.str()));
 }
 
 void
@@ -282,11 +200,27 @@ loadJournal(const std::string &path, const std::string &expected_key,
 
     JournalState st;
     std::map<std::string, std::string> fields;
+    // Set from the header; v2 journals seal every line with a CRC
+    // member that is verified before the line is trusted.
+    int fileVersion = journalVersion;
 
     for (std::size_t li = 0; li < lines.size(); ++li) {
         const bool isTornTail =
             li + 1 == lines.size() && !lastTerminated;
-        if (!parseFlatJson(lines[li], fields)) {
+        if (li > 0 && fileVersion >= 2 &&
+            !jsonlVerifyLine(lines[li])) {
+            if (isTornTail && tolerate_torn_tail) {
+                warn("journal '", path, "': dropping torn final ",
+                     "line (", lines[li].size(), " bytes)");
+                break;
+            }
+            raiseError<CheckpointError>(
+                "journal '", path, "': checksum mismatch at line ",
+                li + 1,
+                isTornTail ? " (torn tail; pass --resume to recover)"
+                           : " (silent corruption)");
+        }
+        if (!jsonlParseLine(lines[li], fields)) {
             if (isTornTail && tolerate_torn_tail) {
                 warn("journal '", path, "': dropping torn final ",
                      "line (", lines[li].size(), " bytes)");
@@ -304,10 +238,21 @@ loadJournal(const std::string &path, const std::string &expected_key,
                                             "': missing header");
             }
             const std::string v = field(fields, "v");
-            if (v != std::to_string(journalVersion)) {
+            char *end = nullptr;
+            const long vnum = std::strtol(v.c_str(), &end, 10);
+            if (v.empty() || !end || *end != '\0' ||
+                vnum < journalCompatVersion ||
+                vnum > journalVersion) {
                 raiseError<CheckpointError>(
                     "journal '", path, "': version '", v,
-                    "' does not match expected ", journalVersion);
+                    "' not in supported range ",
+                    journalCompatVersion, "..", journalVersion);
+            }
+            fileVersion = int(vnum);
+            if (fileVersion >= 2 && !jsonlVerifyLine(lines[li])) {
+                raiseError<CheckpointError>(
+                    "journal '", path,
+                    "': header checksum mismatch");
             }
             st.key = field(fields, "key");
             if (st.key != expected_key) {

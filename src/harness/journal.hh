@@ -9,21 +9,28 @@
  * are skipped (their result payload is replayed from the journal),
  * everything else is re-run.
  *
- * File format (one object per line, flat string/number fields only):
+ * File format (one object per line, flat string/number fields only;
+ * since v2 every line is sealed with a trailing CRC-32 member, see
+ * harness/jsonl.hh):
  *
- *   {"journal":"soefair-sweep","v":1,"key":"<config fingerprint>"}
- *   {"job":"st:gcc:123","state":"running","attempt":1}
- *   {"job":"st:gcc:123","state":"done","attempt":1,"payload":"..."}
+ *   {"journal":"soefair-sweep","v":2,"key":"<fingerprint>","crc":N}
+ *   {"job":"st:gcc:123","state":"running","attempt":1,"crc":N}
+ *   {"job":"st:gcc:123","state":"done","attempt":1,"payload":"...",
+ *    "crc":N}
  *   {"job":"soe:a:b:F=1","state":"failed","attempt":3,
- *    "class":"watchdog","detail":"..."}
+ *    "class":"watchdog","detail":"...","crc":N}
  *
  * Corruption is a defined failure: a journal whose header, version
  * or key does not match, that contains duplicate `done` records,
- * unknown job ids, or a malformed line raises `CheckpointError`
- * (exit 13), never UB. The single exception is a *torn tail* — a
- * final line without a trailing newline, exactly what a SIGKILL
- * mid-append leaves behind — which resume-mode loading drops with a
- * warning while strict loading still raises.
+ * unknown job ids, a malformed line, or (v2) a line whose checksum
+ * does not match raises `CheckpointError` (exit 13), never UB — a
+ * silently bit-flipped payload can no longer be parsed as a valid
+ * record. The single exception is a *torn tail* — a final line
+ * without a trailing newline, exactly what a SIGKILL mid-append
+ * leaves behind — which resume-mode loading drops with a warning
+ * while strict loading still raises. v1 journals (no CRC members)
+ * are still read for backward compatibility; new journals are
+ * always written as v2.
  */
 
 // detlint: conc-optin — journal state crosses the fork boundary
@@ -46,8 +53,10 @@ namespace soefair
 namespace harness
 {
 
-/** Journal format version written/accepted by this build. */
-constexpr int journalVersion = 1;
+/** Journal format version written by this build (CRC-sealed). */
+constexpr int journalVersion = 2;
+/** Oldest journal format version still accepted on read. */
+constexpr int journalCompatVersion = 1;
 
 /** One job state transition. */
 struct JournalRecord
@@ -81,7 +90,12 @@ class JournalWriter
     /** Create/truncate `path` and write the header line. */
     void create(const std::string &path, const std::string &key);
 
-    /** Open an existing journal for appending (resume). */
+    /**
+     * Open an existing journal for appending (resume). A torn final
+     * line (kill mid-append) is truncated away first — appending
+     * straight after the fragment would merge two records into one
+     * malformed line and poison the *next* resume.
+     */
     void openAppend(const std::string &path);
 
     void append(const JournalRecord &rec);

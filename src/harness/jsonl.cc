@@ -1,0 +1,167 @@
+#include "harness/jsonl.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "sim/crc32.hh"
+
+namespace soefair
+{
+namespace harness
+{
+
+bool
+jsonlParseLine(const std::string &line,
+               std::map<std::string, std::string> &out)
+{
+    out.clear();
+    std::size_t i = 0;
+    auto skipWs = [&] {
+        while (i < line.size() &&
+               (line[i] == ' ' || line[i] == '\t'))
+            ++i;
+    };
+    auto parseString = [&](std::string &s) {
+        if (i >= line.size() || line[i] != '"')
+            return false;
+        ++i;
+        s.clear();
+        while (i < line.size() && line[i] != '"') {
+            char c = line[i++];
+            if (c == '\\') {
+                if (i >= line.size())
+                    return false;
+                char e = line[i++];
+                switch (e) {
+                  case '"': s += '"'; break;
+                  case '\\': s += '\\'; break;
+                  case 'n': s += '\n'; break;
+                  case 't': s += '\t'; break;
+                  default: return false;
+                }
+            } else {
+                s += c;
+            }
+        }
+        if (i >= line.size())
+            return false;
+        ++i; // closing quote
+        return true;
+    };
+
+    skipWs();
+    if (i >= line.size() || line[i] != '{')
+        return false;
+    ++i;
+    skipWs();
+    if (i < line.size() && line[i] == '}') {
+        ++i;
+    } else {
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (i >= line.size() || line[i] != ':')
+                return false;
+            ++i;
+            skipWs();
+            std::string val;
+            if (i < line.size() && line[i] == '"') {
+                if (!parseString(val))
+                    return false;
+            } else {
+                // Bare integer.
+                std::size_t start = i;
+                while (i < line.size() &&
+                       (std::isdigit(unsigned(line[i])) ||
+                        line[i] == '-'))
+                    ++i;
+                if (i == start)
+                    return false;
+                val = line.substr(start, i - start);
+            }
+            out[key] = val;
+            skipWs();
+            if (i < line.size() && line[i] == ',') {
+                ++i;
+                continue;
+            }
+            break;
+        }
+        skipWs();
+        if (i >= line.size() || line[i] != '}')
+            return false;
+        ++i;
+    }
+    skipWs();
+    return i == line.size();
+}
+
+std::string
+jsonlEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+jsonlSealLine(const std::string &line)
+{
+    const std::uint32_t crc = sim::crc32(line);
+    const bool empty = line.size() == 2; // "{}"
+    std::string out = line.substr(0, line.size() - 1);
+    out += empty ? "\"crc\":" : ",\"crc\":";
+    out += std::to_string(crc);
+    out += "}";
+    return out;
+}
+
+bool
+jsonlVerifyLine(const std::string &line)
+{
+    if (line.empty() || line.back() != '}')
+        return false;
+    // The seal is always the *last* member, so the last occurrence
+    // of the marker is the seal even when a quoted payload happens
+    // to contain the same byte sequence earlier in the line.
+    static const std::string markerComma = ",\"crc\":";
+    static const std::string markerOnly = "{\"crc\":";
+    std::size_t pos = line.rfind(markerComma);
+    bool empty = false;
+    if (pos == std::string::npos) {
+        if (line.rfind(markerOnly) != 0)
+            return false;
+        pos = 0;
+        empty = true;
+    }
+    const std::size_t valStart =
+        pos + (empty ? markerOnly : markerComma).size();
+    std::size_t i = valStart;
+    while (i < line.size() && std::isdigit(unsigned(line[i])))
+        ++i;
+    if (i == valStart || i + 1 != line.size())
+        return false;
+    char *end = nullptr;
+    const unsigned long want =
+        std::strtoul(line.c_str() + valStart, &end, 10);
+    if (!end || *end != '}' || want > 0xFFFFFFFFul)
+        return false;
+    const std::string orig =
+        line.substr(0, pos) + (empty ? "{}" : "}");
+    return sim::crc32(orig) == std::uint32_t(want);
+}
+
+} // namespace harness
+} // namespace soefair

@@ -1,0 +1,191 @@
+#include "harness/service/result_cache.hh"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "harness/jsonl.hh"
+#include "sim/crc32.hh"
+#include "sim/errors.hh"
+
+namespace soefair
+{
+namespace harness
+{
+namespace service
+{
+
+namespace
+{
+
+constexpr const char *cacheMagic = "soefair-result-cache v1";
+
+std::uint64_t
+fnv1a64(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace
+
+void
+ResultCache::open(const std::string &dir)
+{
+    if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+        raiseError<CheckpointError>("result cache: cannot create '",
+                                    dir, "': ",
+                                    std::strerror(errno));
+    }
+    cacheDir = dir;
+    counters = Stats{};
+}
+
+std::string
+ResultCache::entryPath(const std::string &fingerprint,
+                       std::uint64_t seed) const
+{
+    std::ostringstream os;
+    os << cacheDir << "/" << std::hex
+       << fnv1a64(fingerprint + "\n" + std::to_string(seed))
+       << ".rc";
+    return os.str();
+}
+
+bool
+ResultCache::lookup(const std::string &fingerprint,
+                    std::uint64_t seed, std::string &payload)
+{
+    const std::string path = entryPath(fingerprint, seed);
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        counters.misses++;
+        return false;
+    }
+
+    auto evict = [&](const char *why) {
+        warn("result cache: evicting corrupt entry '", path, "' (",
+             why, "); the job will be re-simulated");
+        is.close();
+        ::unlink(path.c_str());
+        counters.corruptEvictions++;
+        counters.misses++;
+        return false;
+    };
+
+    std::string line;
+    if (!std::getline(is, line) || line != cacheMagic)
+        return evict("bad magic");
+    if (!std::getline(is, line) || line.rfind("fp ", 0) != 0)
+        return evict("missing fingerprint");
+    if (line.substr(3) != jsonlEscape(fingerprint))
+        return evict("fingerprint mismatch");
+    if (!std::getline(is, line) || line.rfind("seed ", 0) != 0 ||
+        line.substr(5) != std::to_string(seed))
+        return evict("seed mismatch");
+    if (!std::getline(is, line) || line.rfind("payload ", 0) != 0)
+        return evict("missing payload header");
+
+    std::istringstream hdr(line.substr(8));
+    std::uint64_t len = 0;
+    std::uint64_t want = 0;
+    hdr >> len >> want;
+    if (!hdr || len > (64ull << 20) || want > 0xFFFFFFFFull)
+        return evict("bad payload header");
+
+    std::string data(len, '\0');
+    is.read(data.data(), std::streamsize(len));
+    if (std::uint64_t(is.gcount()) != len)
+        return evict("payload underrun");
+    char extra = 0;
+    if (is.get(extra) && !is.eof())
+        return evict("trailing bytes");
+    if (sim::crc32(data) != std::uint32_t(want))
+        return evict("payload checksum mismatch");
+
+    payload = std::move(data);
+    counters.hits++;
+    return true;
+}
+
+void
+ResultCache::store(const std::string &fingerprint,
+                   std::uint64_t seed, const std::string &payload)
+{
+    const std::string path = entryPath(fingerprint, seed);
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+
+    std::ostringstream body;
+    body << cacheMagic << "\n"
+         << "fp " << jsonlEscape(fingerprint) << "\n"
+         << "seed " << seed << "\n"
+         << "payload " << payload.size() << " "
+         << sim::crc32(payload) << "\n"
+         << payload;
+    const std::string data = body.str();
+
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        raiseError<CheckpointError>("result cache: cannot write '",
+                                    tmp, "': ",
+                                    std::strerror(errno));
+    }
+    const char *p = data.data();
+    std::size_t left = data.size();
+    while (left > 0) {
+        ssize_t n = ::write(fd, p, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            const int err = errno;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            raiseError<CheckpointError>(
+                "result cache: write to '", tmp, "' failed: ",
+                std::strerror(err));
+        }
+        p += n;
+        left -= std::size_t(n);
+    }
+    if (::fsync(fd) != 0 && errno != EINVAL && errno != EROFS) {
+        const int err = errno;
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        raiseError<CheckpointError>("result cache: fsync of '", tmp,
+                                    "' failed: ",
+                                    std::strerror(err));
+    }
+    ::close(fd);
+
+    // Atomic commit: a reader sees the old entry, no entry, or the
+    // complete new one — never a half-written file.
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        const int err = errno;
+        ::unlink(tmp.c_str());
+        raiseError<CheckpointError>("result cache: cannot commit '",
+                                    path, "': ",
+                                    std::strerror(err));
+    }
+    int dfd = ::open(cacheDir.c_str(), O_RDONLY);
+    if (dfd >= 0) {
+        ::fsync(dfd);
+        ::close(dfd);
+    }
+    counters.stores++;
+}
+
+} // namespace service
+} // namespace harness
+} // namespace soefair

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Content-addressed result cache for the sweep service.
+ *
+ * Entries are keyed on (job fingerprint, effective seed): the
+ * fingerprint covers machine + run parameters + job identity
+ * (SweepCampaign::jobFingerprint) and the seed is the attempt's
+ * effective seed (attemptSeed), so a cached payload is substitutable
+ * for re-simulation *by construction* — the simulator is
+ * deterministic, and the key pins every input that could change the
+ * result. Identical jobs across campaigns therefore share entries.
+ *
+ * Each entry is one file, `<fnv1a64(fp "\n" seed)>.rc`:
+ *
+ *   soefair-result-cache v1
+ *   fp <escaped fingerprint>
+ *   seed <seed>
+ *   payload <byte count> <crc32>
+ *   <raw payload bytes>
+ *
+ * Commits are atomic (temp file + fsync + rename), so a kill
+ * mid-store leaves either no entry or a complete one. Reads verify
+ * the stored fingerprint/seed (hash-collision guard) and the
+ * payload checksum; a corrupt entry is *evicted* (unlinked, with a
+ * warning and a counter tick) and reported as a miss, so the caller
+ * re-simulates instead of serving garbage.
+ */
+
+#ifndef SOEFAIR_HARNESS_SERVICE_RESULT_CACHE_HH
+#define SOEFAIR_HARNESS_SERVICE_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace soefair
+{
+namespace harness
+{
+namespace service
+{
+
+class ResultCache
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t stores = 0;
+        /** Corrupt entries unlinked on read. */
+        std::uint64_t corruptEvictions = 0;
+    };
+
+    ResultCache() = default;
+
+    /** Create/open the cache directory. */
+    void open(const std::string &dir);
+    bool isOpen() const { return !cacheDir.empty(); }
+
+    /**
+     * Look up a payload. Returns true on a verified hit; false on a
+     * miss, a fingerprint/seed mismatch (hash collision) or a
+     * corrupt entry (which is evicted).
+     */
+    bool lookup(const std::string &fingerprint, std::uint64_t seed,
+                std::string &payload);
+
+    /** Durably store a payload (atomic temp-file + rename). */
+    void store(const std::string &fingerprint, std::uint64_t seed,
+               const std::string &payload);
+
+    const Stats &stats() const { return counters; }
+    const std::string &directory() const { return cacheDir; }
+
+    /** Entry path for (fingerprint, seed) — exposed for tests and
+     *  fault injection. */
+    std::string entryPath(const std::string &fingerprint,
+                          std::uint64_t seed) const;
+
+  private:
+    std::string cacheDir;
+    Stats counters;
+};
+
+} // namespace service
+} // namespace harness
+} // namespace soefair
+
+#endif // SOEFAIR_HARNESS_SERVICE_RESULT_CACHE_HH

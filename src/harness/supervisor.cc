@@ -6,6 +6,7 @@
 #include <time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -99,6 +100,14 @@ SweepSupervisor::isTransient(const std::string &fail_class)
     return fail_class == "estimator" || fail_class == "watchdog" ||
            fail_class == "panic" || fail_class == "signal" ||
            fail_class == "deadline" || fail_class == "fork";
+}
+
+double
+SweepSupervisor::backoffSeconds(double base, unsigned failed_attempt)
+{
+    if (failed_attempt == 0)
+        return 0.0;
+    return base * double(1ull << std::min(failed_attempt - 1, 62u));
 }
 
 std::vector<JobOutcome>
@@ -280,8 +289,7 @@ SweepSupervisor::run(const std::vector<SupervisorJob> &jobs,
 
         if (isTransient(cls) && c.attempt < maxAttempts) {
             const double backoff =
-                cfg.backoffBaseSeconds *
-                double(1u << (c.attempt - 1));
+                backoffSeconds(cfg.backoffBaseSeconds, c.attempt);
             if (cfg.progress) {
                 *cfg.progress << "[supervisor] " << jobs[c.jobIdx].id
                               << ": transient failure (" << cls

@@ -122,6 +122,14 @@ class SweepSupervisor
     /** Whether a failure class is worth retrying. */
     static bool isTransient(const std::string &fail_class);
 
+    /**
+     * Backoff before the retry that follows transient failure number
+     * `failed_attempt` (1-based): base * 2^(failed_attempt - 1)
+     * seconds. Exposed so the sweep service applies the identical
+     * schedule to queue retries and tests can pin it.
+     */
+    static double backoffSeconds(double base, unsigned failed_attempt);
+
   private:
     SupervisorConfig cfg SOE_THREAD_OWNED(supervisor);
 };

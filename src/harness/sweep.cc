@@ -1,6 +1,7 @@
 #include "harness/sweep.hh"
 
 #include <algorithm>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -20,6 +21,12 @@ std::uint64_t
 pairSeed(unsigned idx)
 {
     return deriveSeed(0x50EFA1Full, idx + 1);
+}
+
+std::uint64_t
+attemptSeed(std::uint64_t seed, unsigned attempt)
+{
+    return attempt <= 1 ? seed : deriveSeed(seed, 1000 + attempt);
 }
 
 const LevelResult &
@@ -256,15 +263,6 @@ pairSeeds(const std::string &a, const std::string &b)
     return {pairSeed(0), a == b ? pairSeed(1) : pairSeed(0)};
 }
 
-/** Jittered reseeding: retries of a transiently-failing job run at
- *  a seed derived from the attempt number, so a deterministic
- *  livelock at the base seed still has a chance to complete. */
-std::uint64_t
-attemptSeed(std::uint64_t seed, unsigned attempt)
-{
-    return attempt <= 1 ? seed : deriveSeed(seed, 1000 + attempt);
-}
-
 std::uint64_t
 fnv1a64(const std::string &s)
 {
@@ -361,6 +359,38 @@ SweepCampaign::journalKey() const
     for (double f : fLevels)
         os << f << ",";
     return os.str();
+}
+
+std::string
+SweepCampaign::jobFingerprint(const std::string &job_id) const
+{
+    std::ostringstream machineText;
+    mc.print(machineText);
+    std::ostringstream os;
+    os << "sweep-job-v1 machine=" << std::hex
+       << fnv1a64(machineText.str()) << std::dec
+       << " measure=" << rc.measureInstrs
+       << " warm=" << rc.warmupInstrs
+       << " twarm=" << rc.timingWarmInstrs
+       << " maxcyc=" << rc.maxCycles
+       << " job=" << job_id;
+    std::ostringstream fp;
+    fp << std::hex << fnv1a64(os.str());
+    return fp.str();
+}
+
+std::uint64_t
+SweepCampaign::jobSeed(const std::string &job_id)
+{
+    // Single-thread jobs embed their seed ("st:<bench>:<seed>");
+    // SOE jobs derive both thread seeds from pairSeed via the job
+    // id, so their attempts key off the shared base seed.
+    if (job_id.rfind("st:", 0) == 0) {
+        const auto colon = job_id.rfind(':');
+        return std::strtoull(job_id.c_str() + colon + 1, nullptr,
+                             10);
+    }
+    return pairSeed(0);
 }
 
 std::vector<SupervisorJob>

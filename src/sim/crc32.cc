@@ -1,0 +1,40 @@
+#include "sim/crc32.hh"
+
+namespace soefair
+{
+namespace sim
+{
+
+namespace
+{
+
+struct Crc32Table
+{
+    std::uint32_t t[256];
+
+    Crc32Table()
+    {
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+    }
+};
+
+} // namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t len)
+{
+    static const Crc32Table table;
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    std::uint32_t c = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < len; ++i)
+        c = table.t[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+} // namespace sim
+} // namespace soefair

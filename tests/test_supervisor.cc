@@ -21,6 +21,7 @@
 #include "harness/supervisor.hh"
 #include "harness/sweep.hh"
 #include "sim/errors.hh"
+#include "sim/random.hh"
 
 using namespace soefair;
 using namespace soefair::harness;
@@ -216,6 +217,39 @@ TEST(Supervisor, JournalCommitsTransitionsAndResumeReplays)
 
     auto st2 = loadJournal(tj.path, "key", false);
     EXPECT_EQ(st2.done.at("perm").payload, "fixed");
+}
+
+TEST(Supervisor, BackoffScheduleIsPinned)
+{
+    // The exponential backoff schedule is shared between the
+    // in-process supervisor and the sweep service's queue retries:
+    // base * 2^(k-1) seconds after transient failure k. Pinned so a
+    // change is a conscious decision, not an accident.
+    EXPECT_DOUBLE_EQ(SweepSupervisor::backoffSeconds(0.25, 0), 0.0);
+    EXPECT_DOUBLE_EQ(SweepSupervisor::backoffSeconds(0.25, 1), 0.25);
+    EXPECT_DOUBLE_EQ(SweepSupervisor::backoffSeconds(0.25, 2), 0.5);
+    EXPECT_DOUBLE_EQ(SweepSupervisor::backoffSeconds(0.25, 3), 1.0);
+    EXPECT_DOUBLE_EQ(SweepSupervisor::backoffSeconds(0.25, 4), 2.0);
+    EXPECT_DOUBLE_EQ(SweepSupervisor::backoffSeconds(1.0, 3), 4.0);
+    // Huge attempt counts saturate instead of overflowing.
+    EXPECT_GT(SweepSupervisor::backoffSeconds(1.0, 200), 0.0);
+}
+
+TEST(Supervisor, AttemptSeedReseedingIsPinned)
+{
+    // Jittered reseeding is part of the resume/replay determinism
+    // contract: attempt 1 runs the base seed, attempt k >= 2 runs
+    // deriveSeed(seed, 1000 + k). Cached and journaled results are
+    // only substitutable for re-simulation because this schedule
+    // never changes.
+    const std::uint64_t seed = 12345;
+    EXPECT_EQ(attemptSeed(seed, 1), seed);
+    EXPECT_EQ(attemptSeed(seed, 2), deriveSeed(seed, 1002));
+    EXPECT_EQ(attemptSeed(seed, 3), deriveSeed(seed, 1003));
+    EXPECT_EQ(attemptSeed(seed, 7), deriveSeed(seed, 1007));
+    // Distinct attempts must get distinct streams.
+    EXPECT_NE(attemptSeed(seed, 2), seed);
+    EXPECT_NE(attemptSeed(seed, 2), attemptSeed(seed, 3));
 }
 
 TEST(Supervisor, TransientClassification)
