@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "harness/env.hh"
+#include "harness/service/net/client.hh"
 #include "harness/service/service.hh"
 #include "sim/errors.hh"
 #include "sim/logging.hh"
@@ -22,10 +23,26 @@ using namespace harness;
 namespace
 {
 
-constexpr const char *cacheFile = "soefair_eval_cache.txt";
-constexpr const char *queueDir = "soefair_eval_queue";
-constexpr const char *resultCacheDir = "soefair_eval_rcache";
 constexpr const char *cacheVersion = "soefair-eval-v2";
+
+/**
+ * Directory holding every eval artifact (dataset cache, durable
+ * queue, result cache). Defaults to build/ so the repo root stays
+ * clean; SOEFAIR_EVAL_DIR relocates it (CI points it at scratch).
+ */
+std::string
+evalDir()
+{
+    const std::string dir = env::getOr("SOEFAIR_EVAL_DIR", "build");
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+std::string
+cachePath()
+{
+    return evalDir() + "/soefair_eval_cache.txt";
+}
 
 /**
  * Key guarding the assembled-dataset cache file. It embeds the
@@ -60,27 +77,22 @@ levels()
     return EvaluationSweep::standardLevels();
 }
 
-EvalData
-evaluationData()
+namespace
 {
-    service::CampaignManifest manifest;
-    manifest.pairs = workload::spec::evaluationPairs();
-    manifest.levels = levels();
-    manifest.rc = evalRunConfig();
 
-    SweepCampaign campaign = service::campaignFromManifest(manifest);
+/** Drain the campaign through the local durable job service. */
+CampaignResult
+drainLocally(const service::CampaignManifest &manifest,
+             const std::string &cache_file)
+{
+    const std::string queueDir = evalDir() + "/soefair_eval_queue";
+    const std::string resultCacheDir =
+        evalDir() + "/soefair_eval_rcache";
 
-    EvalData data;
-    if (loadPairResults(cacheFile, configKey(campaign), data.pairs)) {
-        std::cerr << "[eval] loaded cached sweep from " << cacheFile
-                  << "\n";
-        return data;
-    }
-
-    // Run the sweep through the durable job service: jobs live in a
-    // crash-safe queue and results in the verified content-addressed
-    // cache, so a killed bench — or a second figure driver — resumes
-    // and is served from the cache instead of re-simulating.
+    // Jobs live in a crash-safe queue and results in the verified
+    // content-addressed cache, so a killed bench — or a second
+    // figure driver — resumes and is served from the cache instead
+    // of re-simulating.
     service::ServiceConfig cfg;
     cfg.queueDir = queueDir;
     cfg.cacheDir = resultCacheDir;
@@ -105,9 +117,57 @@ evaluationData()
     }
     std::cerr << "[eval] draining the evaluation sweep (queue: "
               << queueDir << ", result cache: " << resultCacheDir
-              << ", dataset cache: " << cacheFile << ")...\n";
+              << ", dataset cache: " << cache_file << ")...\n";
     svc.serve();
-    CampaignResult agg = svc.aggregate();
+    return svc.aggregate();
+}
+
+/**
+ * Opt-in remote mode (SOEFAIR_GATEWAY=unix:/path or tcp:host:port):
+ * submit the campaign to a sweep gateway and stream its cells back.
+ * The aggregate is byte-identical to the local drain by contract,
+ * so the figure drivers cannot tell the difference.
+ */
+CampaignResult
+drainViaGateway(const service::CampaignManifest &manifest,
+                const std::string &server)
+{
+    service::net::ClientConfig cfg;
+    cfg.server = server;
+    cfg.tenant = env::getOr("SOEFAIR_TENANT", "eval");
+    cfg.progress = &std::cerr;
+    service::net::GatewayClient client(cfg);
+    const service::net::SubmitReceipt receipt =
+        client.submit(manifest);
+    std::cerr << "[eval] streaming campaign " << receipt.key
+              << " from " << server << "\n";
+    return client.watch(manifest);
+}
+
+} // namespace
+
+EvalData
+evaluationData()
+{
+    service::CampaignManifest manifest;
+    manifest.pairs = workload::spec::evaluationPairs();
+    manifest.levels = levels();
+    manifest.rc = evalRunConfig();
+
+    SweepCampaign campaign = service::campaignFromManifest(manifest);
+
+    EvalData data;
+    const std::string cacheFile = cachePath();
+    if (loadPairResults(cacheFile, configKey(campaign), data.pairs)) {
+        std::cerr << "[eval] loaded cached sweep from " << cacheFile
+                  << "\n";
+        return data;
+    }
+
+    const std::string gateway = env::getOr("SOEFAIR_GATEWAY", "");
+    CampaignResult agg = gateway.empty()
+                             ? drainLocally(manifest, cacheFile)
+                             : drainViaGateway(manifest, gateway);
 
     // Figure drivers index every standard level, so only fully
     // complete pairs are safe to hand them.
@@ -124,7 +184,7 @@ evaluationData()
         savePairResults(cacheFile, configKey(campaign), data.pairs);
     } else {
         warn("evaluation sweep is PARTIAL (", data.missing.size(),
-             " cell(s) missing); re-run to resume from ", queueDir);
+             " cell(s) missing); re-run to resume");
     }
     return data;
 }

@@ -5,10 +5,13 @@
  * All three figures are projections of one dataset: the 16 benchmark
  * pairs, each run single-threaded and under SOE at F = 0, 1/4, 1/2
  * and 1. Running that sweep takes minutes, so the first bench to
- * need it writes a cache file (soefair_eval_cache.txt in the working
- * directory) and the others load it. The cache key is the campaign's
- * full configuration fingerprint: any configuration change (scale,
- * machine, levels) invalidates it automatically.
+ * need it writes a cache file (soefair_eval_cache.txt under
+ * $SOEFAIR_EVAL_DIR, default build/) and the others load it. The
+ * cache key is the campaign's full configuration fingerprint: any
+ * configuration change (scale, machine, levels) invalidates it
+ * automatically. Setting SOEFAIR_GATEWAY=unix:/path (or
+ * tcp:host:port) reroutes the sweep through a remote sweep gateway
+ * instead of draining it locally.
  */
 
 #ifndef SOEFAIR_BENCH_EVAL_COMMON_HH
@@ -49,12 +52,14 @@ struct EvalData
  * Obtain the full evaluation dataset, from the cache file if its
  * key matches the campaign's full configuration fingerprint, else
  * by draining the sweep through the durable job service (see
- * docs/robustness.md): jobs are enqueued into soefair_eval_queue/
- * and results committed to the content-addressed result cache
- * soefair_eval_rcache/, so a second figure driver — or a re-run
- * after a crash — is served from the cache (single-thread baselines
- * included) instead of re-simulating. The text cache is written
- * only once the campaign is complete.
+ * docs/robustness.md): jobs are enqueued into
+ * $SOEFAIR_EVAL_DIR/soefair_eval_queue/ and results committed to
+ * the content-addressed result cache soefair_eval_rcache/ next to
+ * it, so a second figure driver — or a re-run after a crash — is
+ * served from the cache (single-thread baselines included) instead
+ * of re-simulating. The text cache is written only once the
+ * campaign is complete. With SOEFAIR_GATEWAY set, the campaign is
+ * instead submitted to that gateway and its result stream watched.
  */
 EvalData evaluationData();
 

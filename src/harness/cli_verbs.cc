@@ -1,0 +1,350 @@
+#include "harness/cli_verbs.hh"
+
+namespace soefair
+{
+namespace harness
+{
+
+namespace
+{
+
+/** Common option bundles, spliced into the verbs that take them. */
+
+std::vector<CliVerbOption>
+runOptions()
+{
+    return {
+        {"--seed N", "master seed base (default 1)"},
+        {"--instrs N", "measured instructions per thread"},
+        {"--warmup N", "functional warmup instructions per thread"},
+        {"--scale X", "scale all run lengths (like SOEFAIR_SCALE)"},
+        {"--no-fastforward",
+         "tick every stall cycle instead of jumping quiescent runs"},
+    };
+}
+
+std::vector<CliVerbOption>
+campaignOptions()
+{
+    return {
+        {"--pairs a:b,c:d",
+         "benchmark pairs (default: the paper's 16)"},
+        {"--levels a,b,...",
+         "enforcement levels (default 0,0.25,0.5,1)"},
+    };
+}
+
+std::vector<CliVerbOption>
+supervisorOptions()
+{
+    return {
+        {"--jobs N", "parallel forked job slots (default 1)"},
+        {"--deadline S",
+         "per-attempt wall-clock deadline in seconds (default 600)"},
+        {"--retries N",
+         "max attempts per transiently-failing job (default 3)"},
+        {"--backoff S", "base retry backoff in seconds (0.25)"},
+        {"--inject SPEC",
+         "test hook: job@action[@maxAttempt] provokes hang | kill | "
+         "input | watchdog in the job's child; repeatable"},
+    };
+}
+
+std::vector<CliVerbOption>
+clientOptions()
+{
+    return {
+        {"--server ADDR",
+         "gateway address, unix:/path or tcp:host:port (required)"},
+        {"--tenant NAME", "tenant for quota accounting (default)"},
+        {"--timeout S", "per-request/stream receive timeout (10)"},
+        {"--connect-timeout S", "connection timeout (5)"},
+        {"--attempts N",
+         "consecutive connection failures tolerated (8)"},
+        {"--client-backoff S",
+         "base client retry backoff in seconds (0.1)"},
+        {"--retry-later N",
+         "RETRY_LATER answers tolerated before giving up (64)"},
+        {"--no-retry",
+         "fail immediately on RETRY_LATER (exit 15 on quota)"},
+    };
+}
+
+std::vector<CliVerbOption>
+concat(std::vector<CliVerbOption> a,
+       const std::vector<CliVerbOption> &b)
+{
+    a.insert(a.end(), b.begin(), b.end());
+    return a;
+}
+
+const char *exitBasic = "0 ok; 2 usage; 1 fatal; 3 internal panic";
+const char *exitSim =
+    "0 ok; 1 fatal; 2 usage; 3 panic; 10 input; 11 estimator; "
+    "12 watchdog; 13 checkpoint";
+const char *exitCampaign =
+    "0 complete; 20 partial (MISSING cells); 21 nothing completed; "
+    "2 usage; 1 fatal";
+
+std::vector<CliVerb>
+buildVerbs()
+{
+    std::vector<CliVerb> verbs;
+
+    verbs.push_back({"help", "help [verb]",
+                     "print this overview, or one verb's options "
+                     "and exit codes",
+                     {},
+                     "0 ok; 2 unknown verb"});
+
+    verbs.push_back({"list", "list",
+                     "list the available benchmarks",
+                     {},
+                     exitBasic});
+
+    verbs.push_back({"machine", "machine",
+                     "print the simulated machine (Table 3)",
+                     {},
+                     exitBasic});
+
+    verbs.push_back(
+        {"run-st", "run-st <bench> [options]",
+         "run one benchmark alone and print its metrics",
+         runOptions(), exitSim});
+
+    verbs.push_back(
+        {"run-soe", "run-soe <benchA> <benchB>... [options]",
+         "run 2+ benchmarks under SOE; trace:<path> replays a "
+         "recorded trace",
+         concat(runOptions(),
+                {{"--policy P",
+                  "miss-only | fairness | timeshare | quota"},
+                 {"--F X", "target fairness (fairness policy, 0.5)"},
+                 {"--tsquota N", "cycle quantum for timeshare (2000)"},
+                 {"--iquota N",
+                  "instruction quota for the quota policy (2000)"},
+                 {"--measured",
+                  "use measured Miss_lat (Section 6 extension)"},
+                 {"--l1-switch",
+                  "also switch on L1 misses (Section 6 extension)"},
+                 {"--windows", "print the per-delta-window table"},
+                 {"--stats", "dump the statistics tree to stderr"},
+                 {"--retire-trace F",
+                  "write a text retirement trace to file F"}}),
+         exitSim});
+
+    verbs.push_back(
+        {"record-trace", "record-trace <bench> [options]",
+         "record a workload to a trace file",
+         concat(runOptions(),
+                {{"--out F", "output path (default <bench>.soetrace)"}}),
+         exitSim});
+
+    verbs.push_back(
+        {"sweep", "sweep [options]",
+         "run benchmark pairs across F levels under the "
+         "crash-isolated supervisor and emit CSV",
+         concat(concat(concat(runOptions(), campaignOptions()),
+                       supervisorOptions()),
+                {{"--journal F",
+                  "write-ahead journal path (default "
+                  "soefair_sweep.journal)"},
+                 {"--resume F",
+                  "resume from an existing journal"},
+                 {"--out F", "CSV output path (default stdout)"}}),
+         exitCampaign});
+
+    const std::vector<CliVerbOption> serviceOpts = {
+        {"--queue DIR", "job queue directory (required)"},
+        {"--cache DIR",
+         "content-addressed result cache (empty disables)"},
+        {"--capacity N", "queue admission bound, 0 = unbounded"},
+        {"--worker NAME", "worker name recorded in lease records"},
+        {"--lease S", "lease duration in seconds (default 60)"},
+        {"--heartbeat S", "lease renewal interval (default lease/3)"},
+        {"--poll S", "idle poll interval (default 0.5)"},
+    };
+
+    verbs.push_back(
+        {"enqueue", "enqueue --queue DIR [options]",
+         "durably enqueue a sweep campaign into a job queue "
+         "directory (idempotent)",
+         concat(concat(concat(runOptions(), campaignOptions()),
+                       supervisorOptions()),
+                serviceOpts),
+         "0 ok; 22 admission control rejected jobs (queue at "
+         "capacity); 2 usage; 13 checkpoint"});
+
+    verbs.push_back(
+        {"serve", "serve --queue DIR [options]",
+         "worker loop: drain the queue under lease-based claiming, "
+         "serving from the verified result cache when possible; "
+         "SIGTERM is a graceful stop",
+         concat(supervisorOptions(), serviceOpts),
+         "0 drained or stopped gracefully; 2 usage; 13 checkpoint"});
+
+    verbs.push_back(
+        {"drain", "drain --queue DIR [options]",
+         "enqueue (if needed) + serve + aggregate: one-command "
+         "service campaign emitting the same CSV as sweep",
+         concat(concat(concat(runOptions(), campaignOptions()),
+                       supervisorOptions()),
+                concat(serviceOpts,
+                       {{"--out F", "CSV output path (stdout)"}})),
+         "0 complete; 20 partial; 21 nothing completed; 22 complete "
+         "but jobs were rejected at enqueue; 2 usage; 13 checkpoint"});
+
+    verbs.push_back(
+        {"gateway", "gateway --listen ADDR --root DIR [options]",
+         "network front-end of the sweep service: accepts framed "
+         "submit/watch/status requests, enforces tenant quotas and "
+         "backlog bounds with RETRY_LATER backpressure, streams "
+         "results, degrades to read-only when the root is not "
+         "writable, forks workers to drain campaigns; SIGTERM is a "
+         "graceful stop that resumes from durable state on restart",
+         {{"--listen ADDR",
+           "unix:/path or tcp:host:port; port 0 = ephemeral "
+           "(required)"},
+          {"--root DIR",
+           "gateway root: campaign queues + result cache (required)"},
+          {"--quota N",
+           "per-tenant bound on open jobs, 0 = unbounded"},
+          {"--max-campaigns N",
+           "bound on undrained campaigns, 0 = unbounded"},
+          {"--capacity N", "per-campaign queue admission bound"},
+          {"--no-workers",
+           "do not fork drain workers (backpressure tests)"},
+          {"--jobs N", "worker job slots (default 1)"},
+          {"--retries N", "worker attempt budget (default 3)"},
+          {"--backoff S", "worker retry backoff base (0.25)"},
+          {"--lease S", "worker lease seconds (60)"},
+          {"--deadline S", "worker per-attempt deadline (600)"},
+          {"--retry-ms N",
+           "backoff suggested in RETRY_LATER replies (200)"},
+          {"--addr-file F",
+           "write the resolved listen address to F (ephemeral "
+           "ports)"}},
+         "0 stopped gracefully; 2 usage; 10 bad address; "
+         "16 bind/listen failure"});
+
+    verbs.push_back(
+        {"submit", "submit --server ADDR [options]",
+         "submit a campaign to a gateway (idempotent, retrying) "
+         "and, unless --no-watch, stream its results and emit the "
+         "same CSV as sweep",
+         concat(concat(concat(runOptions(), campaignOptions()),
+                       clientOptions()),
+                {{"--no-watch",
+                  "enqueue only; do not stream results"},
+                 {"--out F", "CSV output path (stdout)"}}),
+         "0 complete; 20 partial; 21 nothing completed; 2 usage; "
+         "14 protocol error; 15 quota exceeded; 16 connection lost "
+         "after retries"});
+
+    verbs.push_back(
+        {"watch", "watch --server ADDR [--key KEY] [options]",
+         "stream a submitted campaign's results (resuming across "
+         "reconnects) and emit CSV; --key fetches the manifest from "
+         "the gateway, otherwise --pairs/--levels select it",
+         concat(concat(concat(runOptions(), campaignOptions()),
+                       clientOptions()),
+                {{"--key KEY",
+                  "campaign key printed by submit"},
+                 {"--out F", "CSV output path (stdout)"}}),
+         "0 complete; 20 partial; 21 nothing completed; 2 usage; "
+         "14 protocol error; 15 quota exceeded; "
+         "16 connection lost after retries"});
+
+    verbs.push_back(
+        {"chaosproxy",
+         "chaosproxy --listen ADDR --upstream ADDR [options]",
+         "deterministic fault-injecting proxy for gateway testing: "
+         "drops, delays, duplicates, corrupts, truncates and resets "
+         "forwarded traffic from a seeded schedule, then becomes "
+         "transparent once the fault budget is spent",
+         {{"--listen ADDR", "proxy listen address (required)"},
+          {"--upstream ADDR", "real gateway address (required)"},
+          {"--seed N", "fault schedule seed (default 1)"},
+          {"--fault-rate X", "per-chunk fault probability (0.25)"},
+          {"--max-faults N", "total fault budget (default 6)"},
+          {"--max-delay-ms N", "delay action upper bound (40)"},
+          {"--addr-file F",
+           "write the resolved listen address to F"}},
+         "0 stopped gracefully; 2 usage; 10 bad address; "
+         "16 bind/listen failure"});
+
+    verbs.push_back(
+        {"analytic", "analytic [options]",
+         "evaluate the analytical model",
+         {{"--ipc a,b[,c...]",
+           "per-thread IPC_no_miss (default 2.5,2.5)"},
+          {"--ipm a,b[,c...]",
+           "per-thread instructions per miss (15000,1000)"},
+          {"--F X", "target fairness (sweeps 0,1/4,1/2,1 if absent)"},
+          {"--misslat N", "model Miss_lat (300)"},
+          {"--swlat N", "model Switch_lat (25)"}},
+         exitBasic});
+
+    verbs.push_back(
+        {"faults", "faults [scenario|all] [options]",
+         "fault-injection harness: run one scenario (or all) and "
+         "report pass/fail",
+         {{"--seed N", "scenario seed (default 1)"},
+          {"--dir D", "scratch directory for fault files"},
+          {"--raw",
+           "run the bare faulting path so the process exits with "
+           "the SimError's code"}},
+         "0 all passed; 1 scenario failed; 2 usage; with --raw, the "
+         "provoked class's exit code (10..16)"});
+
+    return verbs;
+}
+
+} // namespace
+
+const std::vector<CliVerb> &
+cliVerbs()
+{
+    static const std::vector<CliVerb> verbs = buildVerbs();
+    return verbs;
+}
+
+const CliVerb *
+findCliVerb(const std::string &name)
+{
+    for (const auto &verb : cliVerbs()) {
+        if (verb.name == name)
+            return &verb;
+    }
+    return nullptr;
+}
+
+void
+printCliHelp(std::ostream &os)
+{
+    os << "usage: soefair_cli <command> [args] [options]\n\n"
+       << "commands:\n";
+    for (const auto &verb : cliVerbs())
+        os << "  " << verb.name << "\n      " << verb.description
+           << "\n";
+    os << "\nrun `soefair_cli help <command>` for options and exit "
+          "codes;\nsee docs/robustness.md for the failure taxonomy "
+          "and gateway protocol\n";
+}
+
+void
+printCliVerbHelp(std::ostream &os, const CliVerb &verb)
+{
+    os << "usage: soefair_cli " << verb.synopsis << "\n\n"
+       << verb.description << "\n";
+    if (!verb.options.empty()) {
+        os << "\noptions:\n";
+        for (const auto &opt : verb.options)
+            os << "  " << opt.name << "\n      " << opt.description
+               << "\n";
+    }
+    os << "\nexit codes: " << verb.exitCodes << "\n";
+}
+
+} // namespace harness
+} // namespace soefair

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Registry of soefair_cli verbs: one record per command with its
+ * synopsis, option list and exit codes. `soefair_cli help [verb]`
+ * renders it, and a test walks it to guarantee every registered
+ * verb documents its flags and exit codes — adding a verb without
+ * documentation is a test failure, not a silent gap.
+ */
+
+#ifndef SOEFAIR_HARNESS_CLI_VERBS_HH
+#define SOEFAIR_HARNESS_CLI_VERBS_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace soefair
+{
+namespace harness
+{
+
+struct CliVerbOption
+{
+    std::string name;        ///< "--queue DIR"
+    std::string description; ///< one line
+};
+
+struct CliVerb
+{
+    std::string name;     ///< "submit"
+    std::string synopsis; ///< "submit --server ADDR [options]"
+    std::string description;
+    std::vector<CliVerbOption> options;
+    /** Exit-code contract, e.g. "0 ok; 2 usage; 15 quota". */
+    std::string exitCodes;
+};
+
+/** Every verb the CLI dispatches, in help order. */
+const std::vector<CliVerb> &cliVerbs();
+
+/** Find a verb by name; nullptr when unknown. */
+const CliVerb *findCliVerb(const std::string &name);
+
+/** Render the one-screen overview (all verbs, one line each). */
+void printCliHelp(std::ostream &os);
+
+/** Render one verb's full help (options + exit codes). */
+void printCliVerbHelp(std::ostream &os, const CliVerb &verb);
+
+} // namespace harness
+} // namespace soefair
+
+#endif // SOEFAIR_HARNESS_CLI_VERBS_HH

@@ -1,0 +1,180 @@
+#include "harness/service/net/chaos.hh"
+
+#include <poll.h>
+#include <time.h>
+
+#include <cerrno>
+
+#include "sim/errors.hh"
+
+namespace soefair
+{
+namespace harness
+{
+namespace service
+{
+namespace net
+{
+
+namespace
+{
+
+void
+sleepMs(unsigned ms)
+{
+    struct timespec ts;
+    ts.tv_sec = ms / 1000;
+    ts.tv_nsec = long(ms % 1000) * 1000000L;
+    while (nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+    }
+}
+
+constexpr std::size_t chunkBytes = 4096;
+
+} // namespace
+
+ChaosProxy::ChaosProxy(const ChaosConfig &config)
+    : cfg(config), rng(config.seed)
+{
+}
+
+void
+ChaosProxy::open()
+{
+    listener.open(cfg.listen);
+    if (cfg.progress) {
+        *cfg.progress << "[chaos] listening on "
+                      << listener.boundAddress().spec() << " -> "
+                      << cfg.upstream.spec() << " (seed=" << cfg.seed
+                      << ", budget=" << cfg.maxFaults << ")"
+                      << std::endl;
+    }
+}
+
+void
+ChaosProxy::note(const std::string &what)
+{
+    if (cfg.progress) {
+        *cfg.progress << "[chaos] fault " << faults << "/"
+                      << cfg.maxFaults << ": " << what << std::endl;
+    }
+}
+
+bool
+ChaosProxy::forward(const std::string &chunk, Socket &dst,
+                    Socket &client)
+{
+    if (faults < cfg.maxFaults && rng.chance(cfg.faultRate)) {
+        ++faults;
+        switch (rng.below(6)) {
+          case 0:
+            note("drop " + std::to_string(chunk.size()) + "B");
+            return true;
+          case 1: {
+            const unsigned ms =
+                unsigned(rng.inRange(1, cfg.maxDelayMs ? cfg.maxDelayMs
+                                                       : 1));
+            note("delay " + std::to_string(ms) + "ms");
+            sleepMs(ms);
+            break;
+          }
+          case 2:
+            note("dup " + std::to_string(chunk.size()) + "B");
+            if (!dst.sendAll(chunk))
+                return false;
+            break;
+          case 3: {
+            std::string bad = chunk;
+            bad[rng.below(bad.size())] ^= 0x40;
+            note("corrupt 1B of " + std::to_string(bad.size()) +
+                 "B");
+            return dst.sendAll(bad);
+          }
+          case 4: {
+            const std::size_t keep = rng.below(chunk.size());
+            note("trunc to " + std::to_string(keep) + "B + close");
+            if (keep > 0)
+                dst.sendAll(chunk.substr(0, keep));
+            return false;
+          }
+          default:
+            note("reset client");
+            client.setLingerReset();
+            return false;
+        }
+    }
+    return dst.sendAll(chunk);
+}
+
+void
+ChaosProxy::shuttle(Socket &client)
+{
+    Socket upstream;
+    try {
+        upstream = connectTo(cfg.upstream, 5.0, 0.0);
+    } catch (const SimError &) {
+        return; // gateway down (mid-restart test); drop the client
+    }
+    client.setNonBlocking(false);
+
+    while (!stopping()) {
+        struct pollfd pfds[2];
+        pfds[0].fd = client.fd();
+        pfds[0].events = POLLIN;
+        pfds[0].revents = 0;
+        pfds[1].fd = upstream.fd();
+        pfds[1].events = POLLIN;
+        pfds[1].revents = 0;
+        const int pr = ::poll(pfds, 2, 200);
+        if (pr < 0 && errno != EINTR)
+            return;
+        if (pr <= 0)
+            continue;
+        for (int side = 0; side < 2; ++side) {
+            if (!(pfds[side].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            Socket &src = side == 0 ? client : upstream;
+            Socket &dst = side == 0 ? upstream : client;
+            bool eof = false;
+            std::string chunk;
+            try {
+                chunk = src.recvSome(chunkBytes, eof);
+            } catch (const SimError &) {
+                return; // reset by peer
+            }
+            if (eof)
+                return;
+            if (!chunk.empty() &&
+                !forward(chunk, dst, client))
+                return;
+        }
+    }
+}
+
+void
+ChaosProxy::run()
+{
+    if (!listener.valid())
+        open();
+    while (!stopping()) {
+        struct pollfd pfd;
+        pfd.fd = listener.fd();
+        pfd.events = POLLIN;
+        pfd.revents = 0;
+        const int pr = ::poll(&pfd, 1, 200);
+        if (pr < 0 && errno != EINTR)
+            break;
+        if (pr <= 0)
+            continue;
+        Socket client = listener.accept();
+        if (!client.valid())
+            continue;
+        shuttle(client);
+    }
+    listener.close();
+}
+
+} // namespace net
+} // namespace service
+} // namespace harness
+} // namespace soefair

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * ChaosProxy: a deterministic fault-injecting TCP/Unix proxy.
+ *
+ * The proxy sits between a GatewayClient and the Gateway and
+ * mangles the byte stream according to a seeded Rng, so every fault
+ * schedule is reproducible from (seed, traffic). Per forwarded
+ * chunk it may:
+ *
+ *  - drop  — discard the chunk (the framing CRC catches the hole);
+ *  - delay — sleep before forwarding (exercises timeouts);
+ *  - dup   — forward the chunk twice (duplicate frames on the wire);
+ *  - corrupt — flip one byte (checksum failure at the receiver);
+ *  - trunc — forward a prefix, then close both sides mid-frame;
+ *  - reset — close the client side with SO_LINGER{1,0} (RST).
+ *
+ * `maxFaults` bounds the total number of injected faults; once the
+ * budget is spent the proxy forwards transparently, so a retrying
+ * client always converges. Connections are handled serially (one
+ * live session at a time) which matches the client's behaviour of
+ * closing before reconnecting, and keeps the proxy single-threaded
+ * like everything else in the harness.
+ */
+
+#ifndef SOEFAIR_HARNESS_SERVICE_NET_CHAOS_HH
+#define SOEFAIR_HARNESS_SERVICE_NET_CHAOS_HH
+
+#include <csignal>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "harness/service/net/socket.hh"
+#include "sim/random.hh"
+
+namespace soefair
+{
+namespace harness
+{
+namespace service
+{
+namespace net
+{
+
+struct ChaosConfig
+{
+    /** Where the proxy listens (clients connect here). */
+    NetAddress listen;
+    /** The real gateway address. */
+    NetAddress upstream;
+    /** Seed for the fault schedule. */
+    std::uint64_t seed = 1;
+    /** Per-chunk probability of injecting a fault. */
+    double faultRate = 0.25;
+    /** Upper bound for the delay action. */
+    unsigned maxDelayMs = 40;
+    /** Total fault budget; once spent the proxy is transparent
+     *  (guarantees client convergence). 0 means no faults at all. */
+    unsigned maxFaults = 6;
+    std::ostream *progress = nullptr;
+    /** Graceful-shutdown flag (SIGTERM handler). */
+    const volatile std::sig_atomic_t *stopFlag = nullptr;
+};
+
+class ChaosProxy
+{
+  public:
+    explicit ChaosProxy(const ChaosConfig &config);
+
+    /** Bind the listen address (resolves an ephemeral port). */
+    void open();
+
+    /** The actual listen address after open(). */
+    const NetAddress &boundAddress() const
+    {
+        return listener.boundAddress();
+    }
+
+    /** Serve until the stop flag is raised. */
+    void run();
+
+    /** Faults injected so far. */
+    unsigned faultsInjected() const { return faults; }
+
+  private:
+    /** Shuttle one client<->upstream session to completion. */
+    void shuttle(Socket &client);
+
+    /** Forward one chunk with a possible fault. Returns false when
+     *  the session must end (trunc/reset or a dead peer). */
+    bool forward(const std::string &chunk, Socket &dst,
+                 Socket &client);
+
+    bool stopping() const
+    {
+        return cfg.stopFlag != nullptr && *cfg.stopFlag != 0;
+    }
+
+    void note(const std::string &what);
+
+    ChaosConfig cfg;
+    Listener listener;
+    Rng rng;
+    unsigned faults = 0;
+};
+
+} // namespace net
+} // namespace service
+} // namespace harness
+} // namespace soefair
+
+#endif // SOEFAIR_HARNESS_SERVICE_NET_CHAOS_HH

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * GatewayClient: the retrying, resuming client of the gateway.
+ *
+ * All remote operations share one failure discipline:
+ *
+ *  - connection-level failures (refused, reset, timed out, corrupt
+ *    frame — the framing CRC turns in-flight bit flips into exactly
+ *    this) are retried up to `maxAttempts` consecutive times with
+ *    exponential backoff and seeded jitter (deterministic given the
+ *    config seed). Progress on any reply resets the attempt count;
+ *  - RETRY_LATER answers are server-side backpressure, not errors:
+ *    the client sleeps max(server-suggested backoff, its own
+ *    schedule) and retries within `retryLaterBudget`; an exhausted
+ *    quota budget raises QuotaExceeded (exit 15);
+ *  - `error` replies are permanent: ProtocolError (exit 14), or
+ *    QuotaExceeded when the server classifies them as quota.
+ *
+ * `submit` is idempotent end to end: the campaign key is a content
+ * address, the gateway's enqueue is duplicate-tolerant, so a lost
+ * `accepted` reply is safely answered by re-submitting. `watch`
+ * streams cells and transparently resumes after a reconnect from
+ * the last acknowledged index — the gateway's terminal-prefix
+ * ordering guarantees no duplicated and no missing cells — then
+ * folds the outcomes through the stock campaign aggregation, so a
+ * watched campaign's CSV is byte-identical to an in-process sweep.
+ */
+
+#ifndef SOEFAIR_HARNESS_SERVICE_NET_CLIENT_HH
+#define SOEFAIR_HARNESS_SERVICE_NET_CLIENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "harness/service/net/frame.hh"
+#include "harness/service/net/socket.hh"
+#include "harness/service/service.hh"
+#include "sim/random.hh"
+
+namespace soefair
+{
+namespace harness
+{
+namespace service
+{
+namespace net
+{
+
+struct ClientConfig
+{
+    /** Gateway address ("unix:/path" or "tcp:host:port"). */
+    std::string server;
+    std::string tenant = "default";
+    double connectTimeoutSeconds = 5.0;
+    /** Per-request/recv timeout (also bounds a stalled stream;
+     *  heartbeats keep a live stream under it). */
+    double ioTimeoutSeconds = 10.0;
+    /** Consecutive connection-level failures tolerated. */
+    unsigned maxAttempts = 8;
+    double backoffBaseSeconds = 0.1;
+    double backoffMaxSeconds = 2.0;
+    /** Jitter seed (deterministic retry schedule). */
+    std::uint64_t seed = 1;
+    /** RETRY_LATER answers tolerated before giving up. */
+    unsigned retryLaterBudget = 64;
+    std::ostream *progress = nullptr;
+};
+
+struct SubmitReceipt
+{
+    std::string key;
+    unsigned added = 0;
+    unsigned duplicates = 0;
+    unsigned total = 0;
+    /** Retries it took (connection + RETRY_LATER), observability. */
+    unsigned retries = 0;
+};
+
+class GatewayClient
+{
+  public:
+    explicit GatewayClient(const ClientConfig &config);
+
+    /** Idempotently submit a campaign. */
+    SubmitReceipt submit(const CampaignManifest &m);
+
+    /**
+     * Stream the campaign's cells until complete and aggregate
+     * them. `on_cell(index, outcome)` fires per received cell.
+     */
+    CampaignResult
+    watch(const CampaignManifest &m,
+          std::function<void(std::size_t, const JobOutcome &)>
+              on_cell = nullptr);
+
+    /** Fetch the manifest of a campaign known to the gateway (lets
+     *  `watch --key` run without a local manifest copy). */
+    CampaignManifest fetchManifest(const std::string &key);
+
+    /** One gateway_status round trip. */
+    NetMessage status();
+
+    /** Retries performed so far across operations. */
+    unsigned retriesObserved() const { return totalRetries; }
+
+  private:
+    struct Session
+    {
+        Socket sock;
+        FrameReader reader;
+    };
+
+    /** Connect + hello/welcome. Raises ConnectionLost on transport
+     *  trouble; `mode` receives "rw"/"ro" when non-null. */
+    Session openSession(std::string *mode);
+
+    /** Next verified message; ConnectionLost on EOF/timeout/corrupt
+     *  stream (all retryable by reconnecting). */
+    NetMessage recvMessage(Session &s);
+
+    /** Raise the permanent error an `error` reply describes. */
+    [[noreturn]] void raiseReplyError(const NetMessage &msg);
+
+    void backoffSleep(unsigned attempt, unsigned server_ms,
+                      const std::string &why);
+
+    ClientConfig cfg;
+    Rng rng;
+    unsigned totalRetries = 0;
+};
+
+} // namespace net
+} // namespace service
+} // namespace harness
+} // namespace soefair
+
+#endif // SOEFAIR_HARNESS_SERVICE_NET_CLIENT_HH

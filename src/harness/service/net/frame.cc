@@ -1,0 +1,138 @@
+#include "harness/service/net/frame.hh"
+
+#include <cctype>
+
+#include "harness/jsonl.hh"
+
+namespace soefair
+{
+namespace harness
+{
+namespace service
+{
+namespace net
+{
+
+std::string
+frameEncode(const std::string &bare_line)
+{
+    const std::string sealed = jsonlSealLine(bare_line);
+    std::string out;
+    out.reserve(sealed.size() + frameMaxHeader + 2);
+    out += frameMagic;
+    out += ' ';
+    out += std::to_string(sealed.size());
+    out += '\n';
+    out += sealed;
+    out += '\n';
+    return out;
+}
+
+std::string
+netField(const NetMessage &msg, const char *name)
+{
+    auto it = msg.find(name);
+    return it == msg.end() ? std::string() : it->second;
+}
+
+void
+FrameReader::feed(const char *data, std::size_t n)
+{
+    if (!corrupt)
+        buffer.append(data, n);
+}
+
+FrameReader::Status
+FrameReader::next(NetMessage &out)
+{
+    if (corrupt)
+        return Status::Corrupt;
+    auto fail = [&](const std::string &why) {
+        corrupt = true;
+        corruptDetail = why;
+        return Status::Corrupt;
+    };
+
+    // Header: "sfw1 <len>\n".
+    const std::size_t nl = buffer.find('\n');
+    if (nl == std::string::npos) {
+        if (buffer.size() > frameMaxHeader)
+            return fail("unterminated frame header");
+        return Status::NeedMore;
+    }
+    if (nl > frameMaxHeader)
+        return fail("oversized frame header");
+    const std::string header = buffer.substr(0, nl);
+    const std::string magicSp = std::string(frameMagic) + " ";
+    if (header.rfind(magicSp, 0) != 0)
+        return fail("bad frame magic '" + header + "'");
+    std::size_t len = 0;
+    bool digits = false;
+    for (std::size_t i = magicSp.size(); i < header.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(header[i])))
+            return fail("bad frame length '" + header + "'");
+        digits = true;
+        len = len * 10 + std::size_t(header[i] - '0');
+        if (len > frameMaxPayload)
+            return fail("frame payload over " +
+                        std::to_string(frameMaxPayload) + " bytes");
+    }
+    if (!digits)
+        return fail("missing frame length");
+
+    // Payload line + its terminator.
+    if (buffer.size() < nl + 1 + len + 1)
+        return Status::NeedMore;
+    const std::string line = buffer.substr(nl + 1, len);
+    if (buffer[nl + 1 + len] != '\n')
+        return fail("missing frame terminator");
+    if (!jsonlVerifyLine(line))
+        return fail("frame checksum/format failure");
+    if (!jsonlParseLine(line, out))
+        return fail("unparsable frame payload");
+    buffer.erase(0, nl + 1 + len + 1);
+    return Status::Message;
+}
+
+NetMessageBuilder::NetMessageBuilder(const std::string &type)
+{
+    body = "{\"t\":\"" + jsonlEscape(type) + "\"";
+}
+
+NetMessageBuilder &
+NetMessageBuilder::str(const char *key, const std::string &val)
+{
+    body += ",\"";
+    body += key;
+    body += "\":\"";
+    body += jsonlEscape(val);
+    body += '"';
+    return *this;
+}
+
+NetMessageBuilder &
+NetMessageBuilder::num(const char *key, std::uint64_t val)
+{
+    body += ",\"";
+    body += key;
+    body += "\":";
+    body += std::to_string(val);
+    return *this;
+}
+
+std::string
+NetMessageBuilder::line() const
+{
+    return body + "}";
+}
+
+std::string
+NetMessageBuilder::frame() const
+{
+    return frameEncode(line());
+}
+
+} // namespace net
+} // namespace service
+} // namespace harness
+} // namespace soefair

@@ -1,0 +1,711 @@
+#include "harness/service/net/gateway.hh"
+
+#include <dirent.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "harness/jsonl.hh"
+#include "harness/service/queue.hh"
+#include "harness/service/service.hh"
+#include "sim/errors.hh"
+#include "sim/random.hh"
+
+namespace soefair
+{
+namespace harness
+{
+namespace service
+{
+namespace net
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+constexpr const char *tenantFileName = "tenant.jsonl";
+
+double
+secondsSince(Clock::time_point t)
+{
+    return std::chrono::duration<double>(Clock::now() - t).count();
+}
+
+/** Worker-child stop flag (SIGTERM forwards a graceful stop). */
+volatile std::sig_atomic_t gWorkerStop = 0;
+
+void
+onWorkerStop(int)
+{
+    gWorkerStop = 1;
+}
+
+std::uint64_t
+parseU64(const std::string &s)
+{
+    return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+} // namespace
+
+std::string
+Gateway::campaignDirName(const std::string &key)
+{
+    std::uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (const char ch : key)
+        h = mix64(h ^ std::uint64_t(static_cast<unsigned char>(ch)));
+    std::ostringstream os;
+    os << "c_" << std::hex << h;
+    return os.str();
+}
+
+Gateway::Gateway(const GatewayConfig &config) : cfg(config)
+{
+    if (cfg.slots == 0)
+        cfg.slots = 1;
+}
+
+Gateway::~Gateway() = default;
+
+void
+Gateway::note(const std::string &msg)
+{
+    if (cfg.progress)
+        *cfg.progress << "[gateway] " << msg << std::endl;
+}
+
+bool
+Gateway::rootWritable()
+{
+    const std::string probe =
+        cfg.rootDir + "/.probe." + std::to_string(::getpid());
+    std::ofstream os(probe, std::ios::binary | std::ios::trunc);
+    os << "probe\n";
+    os.flush();
+    const bool ok = bool(os);
+    os.close();
+    ::unlink(probe.c_str());
+    if (ok == readOnly) {
+        readOnly = !ok;
+        note(readOnly ? "degrading to read-only mode (root not "
+                        "writable)"
+                      : "root writable again; read-write mode "
+                        "restored");
+    }
+    return ok;
+}
+
+void
+Gateway::registerCampaign(const std::string &dir)
+{
+    const std::string path = dir + "/" + tenantFileName;
+    std::ifstream is(path, std::ios::binary);
+    std::string line;
+    if (!is || !std::getline(is, line))
+        return; // half-created campaign (submit interrupted)
+    std::map<std::string, std::string> f;
+    if (!jsonlVerifyLine(line) || !jsonlParseLine(line, f)) {
+        warn("gateway: '", path, "' is corrupt; campaign ignored");
+        return;
+    }
+    Campaign c;
+    c.key = f.count("key") ? f.at("key") : std::string();
+    c.tenant = f.count("tenant") ? f.at("tenant") : "default";
+    c.dir = dir;
+    if (c.key.empty())
+        return;
+    campaigns[c.key] = c;
+}
+
+void
+Gateway::scanRoot()
+{
+    DIR *d = ::opendir(cfg.rootDir.c_str());
+    if (!d)
+        return;
+    std::vector<std::string> dirs;
+    while (struct dirent *e = ::readdir(d)) {
+        const std::string name = e->d_name;
+        if (name.rfind("c_", 0) == 0)
+            dirs.push_back(cfg.rootDir + "/" + name);
+    }
+    ::closedir(d);
+    std::sort(dirs.begin(), dirs.end());
+    for (const auto &dir : dirs)
+        registerCampaign(dir);
+    if (!campaigns.empty()) {
+        note("recovered " + std::to_string(campaigns.size()) +
+             " campaign(s) from " + cfg.rootDir);
+    }
+}
+
+bool
+Gateway::campaignDrained(const Campaign &c)
+{
+    if (!JobQueue::exists(c.dir))
+        return false;
+    JobQueue q;
+    q.open(c.dir, c.key, QueueConfig());
+    return q.drained();
+}
+
+unsigned
+Gateway::campaignOpenJobs(const Campaign &c)
+{
+    if (!JobQueue::exists(c.dir))
+        return 0;
+    JobQueue q;
+    q.open(c.dir, c.key, QueueConfig());
+    return q.openJobs();
+}
+
+unsigned
+Gateway::tenantOpenJobs(const std::string &tenant)
+{
+    unsigned open = 0;
+    for (const auto &kv : campaigns) {
+        if (kv.second.tenant == tenant)
+            open += campaignOpenJobs(kv.second);
+    }
+    return open;
+}
+
+unsigned
+Gateway::undrainedCampaigns()
+{
+    unsigned n = 0;
+    for (const auto &kv : campaigns) {
+        if (!campaignDrained(kv.second))
+            ++n;
+    }
+    return n;
+}
+
+void
+Gateway::spawnWorker(Campaign &c)
+{
+    if (!cfg.runWorkers || c.worker > 0)
+        return;
+    if (cfg.progress)
+        cfg.progress->flush();
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        warn("gateway: fork for worker failed: ",
+             std::strerror(errno));
+        return;
+    }
+    if (pid == 0) {
+        // Worker child: drop the parent's sockets, then drain the
+        // campaign's queue with the stock service loop. SIGTERM is
+        // a graceful stop (leases released un-consumed).
+        if (listener.valid())
+            ::close(listener.fd());
+        for (const auto &conn : conns) {
+            if (conn->sock.valid())
+                ::close(conn->sock.fd());
+        }
+        gWorkerStop = 0;
+        ::signal(SIGTERM, onWorkerStop);
+        ::signal(SIGINT, onWorkerStop);
+        int code = 0;
+        try {
+            ServiceConfig scfg;
+            scfg.queueDir = c.dir;
+            scfg.cacheDir = cfg.rootDir + "/rcache";
+            scfg.workerName =
+                "gw-" + std::to_string(::getpid());
+            scfg.leaseSeconds = cfg.leaseSeconds;
+            scfg.deadlineSeconds = cfg.deadlineSeconds;
+            scfg.maxAttempts = cfg.maxAttempts;
+            scfg.backoffBaseSeconds = cfg.backoffBaseSeconds;
+            scfg.slots = cfg.slots;
+            scfg.pollSeconds = 0.1;
+            scfg.progress = cfg.progress;
+            scfg.stopFlag = &gWorkerStop;
+            SweepService service(scfg);
+            service.serve();
+        } catch (const SimError &e) {
+            code = e.exitCode();
+        } catch (...) {
+            code = 3;
+        }
+        _exit(code);
+    }
+    c.worker = pid;
+    note("worker " + std::to_string(pid) + " drains " + c.dir);
+}
+
+void
+Gateway::reapWorkers()
+{
+    for (;;) {
+        int status = 0;
+        const pid_t pid = ::waitpid(-1, &status, WNOHANG);
+        if (pid <= 0)
+            return;
+        for (auto &kv : campaigns) {
+            Campaign &c = kv.second;
+            if (c.worker != pid)
+                continue;
+            c.worker = -1;
+            const bool clean =
+                WIFEXITED(status) && WEXITSTATUS(status) == 0;
+            if (campaignDrained(c)) {
+                note("campaign " + c.dir + " drained");
+            } else if (!stopping() && cfg.runWorkers) {
+                if (!clean)
+                    ++c.restarts;
+                if (c.restarts <= cfg.maxWorkerRestarts) {
+                    ++gwStats.workerRestarts;
+                    note("worker for " + c.dir +
+                         " exited undrained; restarting (" +
+                         std::to_string(c.restarts) + "/" +
+                         std::to_string(cfg.maxWorkerRestarts) +
+                         ")");
+                    spawnWorker(c);
+                } else {
+                    warn("gateway: worker restart budget for '",
+                         c.dir, "' exhausted; campaign parked");
+                }
+            }
+            break;
+        }
+    }
+}
+
+void
+Gateway::stopWorkers()
+{
+    for (auto &kv : campaigns) {
+        if (kv.second.worker > 0)
+            ::kill(kv.second.worker, SIGTERM);
+    }
+    for (auto &kv : campaigns) {
+        Campaign &c = kv.second;
+        if (c.worker <= 0)
+            continue;
+        int status = 0;
+        while (::waitpid(c.worker, &status, 0) < 0 &&
+               errno == EINTR) {
+        }
+        c.worker = -1;
+    }
+}
+
+void
+Gateway::open()
+{
+    ::mkdir(cfg.rootDir.c_str(), 0755);
+    ::mkdir((cfg.rootDir + "/rcache").c_str(), 0755);
+    listener.open(cfg.listen);
+    scanRoot();
+    rootWritable();
+    if (cfg.runWorkers) {
+        for (auto &kv : campaigns) {
+            if (!campaignDrained(kv.second))
+                spawnWorker(kv.second);
+        }
+    }
+    if (!cfg.addrFile.empty()) {
+        std::ofstream os(cfg.addrFile,
+                         std::ios::binary | std::ios::trunc);
+        os << boundAddress().spec() << "\n";
+    }
+    note("listening on " + boundAddress().spec() + " (root " +
+         cfg.rootDir + (readOnly ? ", read-only)" : ")"));
+}
+
+bool
+Gateway::send(Conn &conn, const std::string &frame)
+{
+    if (conn.dead)
+        return false;
+    if (!conn.sock.sendAll(frame)) {
+        conn.dead = true;
+        return false;
+    }
+    conn.lastSent = Clock::now();
+    return true;
+}
+
+void
+Gateway::sendError(Conn &conn, const std::string &cls,
+                   const std::string &detail)
+{
+    ++gwStats.protocolErrors;
+    send(conn, NetMessageBuilder("error")
+                   .str("class", cls)
+                   .str("detail", detail)
+                   .frame());
+}
+
+void
+Gateway::sendRetryLater(Conn &conn, const std::string &reason)
+{
+    ++gwStats.submitsDeferred;
+    note("deferring submit (" + reason + ")");
+    send(conn, NetMessageBuilder("retry_later")
+                   .str("reason", reason)
+                   .num("backoff_ms", cfg.retryBackoffMs)
+                   .frame());
+}
+
+void
+Gateway::handleSubmit(Conn &conn, const NetMessage &msg)
+{
+    if (!rootWritable()) {
+        sendRetryLater(conn, "disk");
+        return;
+    }
+    CampaignManifest m = manifestFromFields(msg, "submit request");
+    SweepCampaign campaign = campaignFromManifest(m);
+    const std::string key = campaign.journalKey();
+    const std::string clientKey = netField(msg, "key");
+    if (clientKey != key) {
+        sendError(conn, "protocol",
+                  "campaign key mismatch (client '" + clientKey +
+                      "', server '" + key + "')");
+        return;
+    }
+
+    auto it = campaigns.find(key);
+    if (it == campaigns.end()) {
+        // New campaign: admission control before anything durable.
+        if (cfg.maxCampaigns != 0 &&
+            undrainedCampaigns() >= cfg.maxCampaigns) {
+            sendRetryLater(conn, "backlog");
+            return;
+        }
+        const std::size_t jobCount = campaign.jobs().size();
+        if (cfg.tenantQuota != 0 &&
+            tenantOpenJobs(conn.tenant) + jobCount >
+                cfg.tenantQuota) {
+            sendRetryLater(conn, "quota");
+            return;
+        }
+        Campaign c;
+        c.key = key;
+        c.tenant = conn.tenant;
+        c.dir = cfg.rootDir + "/" + campaignDirName(key);
+        ::mkdir(c.dir.c_str(), 0755);
+        {
+            const std::string path = c.dir + "/" + tenantFileName;
+            std::ofstream os(path,
+                             std::ios::binary | std::ios::trunc);
+            os << jsonlSealLine(
+                      "{\"gateway\":\"soefair-tenant\",\"v\":1,"
+                      "\"tenant\":\"" +
+                      jsonlEscape(c.tenant) + "\",\"key\":\"" +
+                      jsonlEscape(key) + "\"}")
+               << "\n";
+            os.flush();
+            if (!os) {
+                ::unlink(path.c_str());
+                sendRetryLater(conn, "disk");
+                return;
+            }
+        }
+        it = campaigns.emplace(key, c).first;
+    } else if (it->second.tenant != conn.tenant) {
+        sendError(conn, "quota",
+                  "campaign belongs to tenant '" +
+                      it->second.tenant + "'");
+        return;
+    }
+
+    ServiceConfig scfg;
+    scfg.queueDir = it->second.dir;
+    scfg.capacity = cfg.queueCapacity;
+    scfg.maxAttempts = cfg.maxAttempts;
+    scfg.backoffBaseSeconds = cfg.backoffBaseSeconds;
+    SweepService service(scfg);
+    const EnqueueStats st = service.enqueueCampaign(m);
+    if (st.rejected > 0) {
+        // Partially admitted: the queued part drains and frees
+        // capacity; the idempotent resubmit adds the rest.
+        spawnWorker(it->second);
+        sendRetryLater(conn, "capacity");
+        return;
+    }
+    ++gwStats.submitsAccepted;
+    spawnWorker(it->second);
+    note("accepted campaign " + key + " from tenant '" +
+         conn.tenant + "' (" + std::to_string(st.added) +
+         " added, " + std::to_string(st.duplicates) +
+         " already queued)");
+    send(conn, NetMessageBuilder("accepted")
+                   .str("key", key)
+                   .num("added", st.added)
+                   .num("dup", st.duplicates)
+                   .num("total", campaign.jobs().size())
+                   .frame());
+}
+
+void
+Gateway::handleWatch(Conn &conn, const NetMessage &msg)
+{
+    const std::string key = netField(msg, "key");
+    auto it = campaigns.find(key);
+    if (it == campaigns.end()) {
+        sendError(conn, "protocol",
+                  "unknown campaign '" + key + "'");
+        return;
+    }
+    CampaignManifest m = loadManifest(it->second.dir);
+    SweepCampaign campaign = campaignFromManifest(m);
+    conn.streamJobs.clear();
+    for (const auto &job : campaign.jobs())
+        conn.streamJobs.push_back(job.id);
+    conn.streamKey = key;
+    conn.nextCell = std::size_t(parseU64(netField(msg, "from")));
+    if (conn.nextCell > conn.streamJobs.size())
+        conn.nextCell = conn.streamJobs.size();
+    pumpStream(conn);
+}
+
+void
+Gateway::pumpStream(Conn &conn)
+{
+    if (conn.dead || conn.streamKey.empty())
+        return;
+    auto it = campaigns.find(conn.streamKey);
+    if (it == campaigns.end() || !JobQueue::exists(it->second.dir))
+        return;
+    JobQueue q;
+    q.open(it->second.dir, it->second.key, QueueConfig());
+    const auto snap = q.snapshot();
+    q.close();
+
+    // Terminal prefix: cell i streams only once every cell <= i is
+    // done or quarantined, so resume-from-index is exact.
+    std::size_t prefix = 0;
+    while (prefix < conn.streamJobs.size()) {
+        auto js = snap.find(conn.streamJobs[prefix]);
+        if (js == snap.end() ||
+            (js->second.phase != JobPhase::Done &&
+             js->second.phase != JobPhase::Quarantined))
+            break;
+        ++prefix;
+    }
+    while (conn.nextCell < prefix) {
+        const std::size_t i = conn.nextCell;
+        const JobStatus &js = snap.at(conn.streamJobs[i]);
+        NetMessageBuilder cell("cell");
+        cell.num("i", i).str("job", js.job.id);
+        if (js.phase == JobPhase::Done) {
+            cell.num("ok", 1)
+                .num("attempts", std::max(1u, js.doneAttempt))
+                .str("payload", js.payload);
+        } else {
+            const unsigned attempts =
+                js.failClass == "lease-expired"
+                    ? js.leaseLosses
+                    : std::max(1u, js.failedAttempts);
+            cell.num("ok", 0)
+                .num("attempts", attempts)
+                .str("class", js.failClass)
+                .str("detail", js.failDetail);
+        }
+        if (!send(conn, cell.frame()))
+            return;
+        ++conn.nextCell;
+    }
+    if (conn.nextCell == conn.streamJobs.size()) {
+        send(conn, NetMessageBuilder("end")
+                       .num("total", conn.streamJobs.size())
+                       .frame());
+        conn.streamKey.clear();
+        return;
+    }
+    if (secondsSince(conn.lastSent) >= cfg.heartbeatSeconds)
+        send(conn, NetMessageBuilder("hb").frame());
+}
+
+void
+Gateway::handleManifest(Conn &conn, const NetMessage &msg)
+{
+    const std::string key = netField(msg, "key");
+    auto it = campaigns.find(key);
+    if (it == campaigns.end()) {
+        sendError(conn, "protocol",
+                  "unknown campaign '" + key + "'");
+        return;
+    }
+    const CampaignManifest m = loadManifest(it->second.dir);
+    NetMessageBuilder reply("campaign");
+    reply.str("key", key);
+    for (const auto &kv : manifestToFields(m))
+        reply.str(kv.first.c_str(), kv.second);
+    send(conn, reply.frame());
+}
+
+void
+Gateway::handleStatus(Conn &conn)
+{
+    send(conn, NetMessageBuilder("gateway_status")
+                   .num("v", std::uint64_t(protocolVersion))
+                   .str("mode", readOnly ? "ro" : "rw")
+                   .num("campaigns", campaigns.size())
+                   .num("undrained", undrainedCampaigns())
+                   .frame());
+}
+
+void
+Gateway::handleFrame(Conn &conn, const NetMessage &msg)
+{
+    const std::string type = netField(msg, "t");
+    if (!conn.greeted) {
+        if (type != "hello") {
+            sendError(conn, "protocol",
+                      "expected hello, got '" + type + "'");
+            conn.dead = true;
+            return;
+        }
+        if (netField(msg, "v") !=
+            std::to_string(protocolVersion)) {
+            sendError(conn, "protocol",
+                      "protocol version mismatch (server speaks " +
+                          std::to_string(protocolVersion) + ")");
+            conn.dead = true;
+            return;
+        }
+        conn.tenant = netField(msg, "tenant");
+        if (conn.tenant.empty())
+            conn.tenant = "default";
+        conn.greeted = true;
+        rootWritable();
+        send(conn, NetMessageBuilder("welcome")
+                       .num("v", std::uint64_t(protocolVersion))
+                       .str("mode", readOnly ? "ro" : "rw")
+                       .frame());
+        return;
+    }
+    try {
+        if (type == "submit") {
+            handleSubmit(conn, msg);
+        } else if (type == "watch") {
+            handleWatch(conn, msg);
+        } else if (type == "manifest") {
+            handleManifest(conn, msg);
+        } else if (type == "status") {
+            handleStatus(conn);
+        } else {
+            sendError(conn, "protocol",
+                      "unknown request '" + type + "'");
+        }
+    } catch (const SimError &e) {
+        const char *cls = simErrorKindNameForExit(e.exitCode());
+        sendError(conn, cls ? cls : "error", e.what());
+    }
+}
+
+void
+Gateway::pumpConn(Conn &conn)
+{
+    bool eof = false;
+    std::string chunk;
+    try {
+        chunk = conn.sock.recvSome(4096, eof);
+    } catch (const SimError &) {
+        conn.dead = true; // reset by peer
+        return;
+    }
+    if (eof) {
+        conn.dead = true;
+        return;
+    }
+    if (chunk.empty())
+        return;
+    conn.lastRecv = Clock::now();
+    conn.reader.feed(chunk);
+    for (;;) {
+        NetMessage msg;
+        const FrameReader::Status st = conn.reader.next(msg);
+        if (st == FrameReader::Status::Message) {
+            handleFrame(conn, msg);
+            if (conn.dead)
+                return;
+            continue;
+        }
+        if (st == FrameReader::Status::Corrupt) {
+            sendError(conn, "protocol",
+                      "corrupt frame: " + conn.reader.detail());
+            conn.dead = true;
+        }
+        return;
+    }
+}
+
+void
+Gateway::run()
+{
+    if (!listener.valid())
+        open();
+    while (!stopping()) {
+        reapWorkers();
+
+        std::vector<struct pollfd> pfds;
+        pfds.push_back({listener.fd(), POLLIN, 0});
+        for (const auto &conn : conns)
+            pfds.push_back({conn->sock.fd(), POLLIN, 0});
+        const int pr =
+            ::poll(pfds.data(), nfds_t(pfds.size()), 100);
+        if (pr < 0 && errno != EINTR)
+            break;
+
+        if (pfds[0].revents & POLLIN) {
+            for (;;) {
+                Socket s = listener.accept();
+                if (!s.valid())
+                    break;
+                s.setNonBlocking(false);
+                s.setIoTimeout(cfg.ioTimeoutSeconds);
+                auto conn = std::make_unique<Conn>();
+                conn->sock = std::move(s);
+                conn->lastRecv = Clock::now();
+                conn->lastSent = conn->lastRecv;
+                conns.push_back(std::move(conn));
+            }
+        }
+        for (std::size_t i = 0; i < conns.size(); ++i) {
+            Conn &conn = *conns[i];
+            if (i + 1 < pfds.size() &&
+                (pfds[i + 1].revents &
+                 (POLLIN | POLLHUP | POLLERR)))
+                pumpConn(conn);
+            if (!conn.dead && conn.reader.midFrame() &&
+                secondsSince(conn.lastRecv) >
+                    cfg.frameDeadlineSeconds) {
+                note("dropping peer stalled mid-frame");
+                conn.dead = true;
+            }
+            if (!conn.dead)
+                pumpStream(conn);
+        }
+        conns.erase(std::remove_if(conns.begin(), conns.end(),
+                                   [](const auto &c) {
+                                       return c->dead;
+                                   }),
+                    conns.end());
+    }
+    note("stopping (graceful)");
+    stopWorkers();
+    conns.clear();
+    listener.close();
+}
+
+} // namespace net
+} // namespace service
+} // namespace harness
+} // namespace soefair

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Gateway: the network front-end of the sweep service.
+ *
+ * A single-threaded poll(2) event loop that speaks the framed wire
+ * protocol (net/frame.hh) over TCP or Unix-domain sockets and
+ * fronts the PR 7 durable-queue machinery:
+ *
+ *  - `submit` admits a campaign: the manifest travels inline, the
+ *    client's campaign key is cross-checked against the rebuilt
+ *    campaign, a per-campaign queue directory is created under the
+ *    gateway root, and every job is enqueued idempotently
+ *    (re-submitting an accepted campaign is a no-op, which is what
+ *    makes lost `accepted` replies safe to retry through);
+ *  - admission control is explicit backpressure, not an error: a
+ *    tenant over its open-job quota, a full campaign backlog, queue
+ *    capacity rejections, or an unwritable root all answer
+ *    RETRY_LATER with a server-suggested backoff, and the client is
+ *    expected to come back. When the root is unwritable the gateway
+ *    degrades to read-only mode — status/watch/manifest still work,
+ *    and a later writability probe restores read-write mode;
+ *  - `watch` streams campaign cells as they complete. Cells are
+ *    sent in campaign job order as a growing *terminal prefix*
+ *    (cell i goes out only once every cell <= i is done or
+ *    quarantined), so "resume from index N" after a reconnect is
+ *    exact: no duplicated and no missing cells, regardless of when
+ *    the previous connection died. Idle streams get heartbeats;
+ *  - campaigns are drained by forked worker children running
+ *    `SweepService::serve()` (crash-isolated, restarted with a
+ *    bounded budget if they die). On SIGTERM the gateway forwards
+ *    the stop to its workers — leases are released un-consumed — so
+ *    a restarted gateway resumes every campaign from durable state.
+ *
+ * Everything a campaign needs lives in its queue directory
+ * (`c_<hash>/`: queue segments, manifest.jsonl, tenant.jsonl), so
+ * `open()` rebuilds the full registry from disk after a restart.
+ */
+
+#ifndef SOEFAIR_HARNESS_SERVICE_NET_GATEWAY_HH
+#define SOEFAIR_HARNESS_SERVICE_NET_GATEWAY_HH
+
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "harness/service/net/frame.hh"
+#include "harness/service/net/socket.hh"
+
+namespace soefair
+{
+namespace harness
+{
+namespace service
+{
+namespace net
+{
+
+struct GatewayConfig
+{
+    NetAddress listen;
+    /** Root directory: campaign queue dirs + shared result cache. */
+    std::string rootDir;
+    /** Per-tenant bound on open (pending + leased) jobs across all
+     *  of the tenant's campaigns; 0 = unbounded. */
+    unsigned tenantQuota = 0;
+    /** Bound on undrained campaigns (backlog); 0 = unbounded. */
+    unsigned maxCampaigns = 0;
+    /** Per-campaign queue admission bound (0 = unbounded). */
+    unsigned queueCapacity = 0;
+    /** Fork worker children to drain campaigns. Off in tests that
+     *  need the queue to stay full (quota/backpressure scenarios). */
+    bool runWorkers = true;
+    /** Worker settings (ServiceConfig passthrough). */
+    unsigned slots = 1;
+    unsigned maxAttempts = 3;
+    double backoffBaseSeconds = 0.25;
+    double leaseSeconds = 60.0;
+    double deadlineSeconds = 600.0;
+    /** Restart budget for a crashing worker child, per campaign. */
+    unsigned maxWorkerRestarts = 10;
+    /** Blocking send/recv timeout on accepted connections. */
+    double ioTimeoutSeconds = 10.0;
+    /** Per-message deadline: a peer mid-frame for longer is cut. */
+    double frameDeadlineSeconds = 10.0;
+    /** Backoff suggested to clients in RETRY_LATER replies. */
+    unsigned retryBackoffMs = 200;
+    /** Heartbeat interval on idle watch streams. */
+    double heartbeatSeconds = 1.0;
+    /** When set, the resolved listen address is written here (lets
+     *  scripts bind tcp:127.0.0.1:0 and discover the port). */
+    std::string addrFile;
+    std::ostream *progress = nullptr;
+    /** Graceful-shutdown flag (SIGTERM handler). */
+    const volatile std::sig_atomic_t *stopFlag = nullptr;
+};
+
+struct GatewayStats
+{
+    unsigned submitsAccepted = 0;
+    unsigned submitsDeferred = 0; ///< RETRY_LATER answers
+    unsigned protocolErrors = 0;  ///< corrupt frames / bad requests
+    unsigned workerRestarts = 0;
+};
+
+class Gateway
+{
+  public:
+    explicit Gateway(const GatewayConfig &config);
+    ~Gateway();
+
+    /** Bind the listener, scan the root for existing campaigns,
+     *  respawn workers for undrained ones, write the addr file. */
+    void open();
+
+    const NetAddress &boundAddress() const
+    {
+        return listener.boundAddress();
+    }
+
+    /** Serve until the stop flag is raised; then stop workers
+     *  gracefully and close. */
+    void run();
+
+    const GatewayStats &stats() const { return gwStats; }
+
+    /** Queue directory name for a campaign key ("c_<hash16>"). */
+    static std::string campaignDirName(const std::string &key);
+
+  private:
+    struct Campaign
+    {
+        std::string key;
+        std::string tenant;
+        std::string dir;
+        pid_t worker = -1;
+        unsigned restarts = 0;
+    };
+
+    struct Conn
+    {
+        Socket sock;
+        FrameReader reader;
+        bool greeted = false;
+        std::string tenant;
+        /** Active watch stream (key empty = none). */
+        std::string streamKey;
+        std::vector<std::string> streamJobs;
+        std::size_t nextCell = 0;
+        /** Last received byte (frame deadline) and last sent stream
+         *  record (heartbeat pacing). */
+        std::chrono::steady_clock::time_point lastRecv;
+        std::chrono::steady_clock::time_point lastSent;
+        bool dead = false;
+    };
+
+    bool stopping() const
+    {
+        return cfg.stopFlag != nullptr && *cfg.stopFlag != 0;
+    }
+    void note(const std::string &msg);
+
+    /** True when the root directory accepts writes (probe file). */
+    bool rootWritable();
+
+    void scanRoot();
+    void registerCampaign(const std::string &dir);
+    bool campaignDrained(const Campaign &c);
+    unsigned campaignOpenJobs(const Campaign &c);
+    unsigned tenantOpenJobs(const std::string &tenant);
+    unsigned undrainedCampaigns();
+
+    void spawnWorker(Campaign &c);
+    void reapWorkers();
+    void stopWorkers();
+
+    void handleFrame(Conn &conn, const NetMessage &msg);
+    void handleSubmit(Conn &conn, const NetMessage &msg);
+    void handleWatch(Conn &conn, const NetMessage &msg);
+    void handleManifest(Conn &conn, const NetMessage &msg);
+    void handleStatus(Conn &conn);
+    void pumpStream(Conn &conn);
+    void pumpConn(Conn &conn);
+
+    bool send(Conn &conn, const std::string &frame);
+    void sendError(Conn &conn, const std::string &cls,
+                   const std::string &detail);
+    void sendRetryLater(Conn &conn, const std::string &reason);
+
+    GatewayConfig cfg;
+    Listener listener;
+    GatewayStats gwStats;
+    bool readOnly = false;
+    /** key -> campaign. */
+    std::map<std::string, Campaign> campaigns;
+    std::vector<std::unique_ptr<Conn>> conns;
+};
+
+} // namespace net
+} // namespace service
+} // namespace harness
+} // namespace soefair
+
+#endif // SOEFAIR_HARNESS_SERVICE_NET_GATEWAY_HH

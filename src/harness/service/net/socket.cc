@@ -1,0 +1,301 @@
+#include "harness/service/net/socket.hh"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/errors.hh"
+
+namespace soefair
+{
+namespace harness
+{
+namespace service
+{
+namespace net
+{
+
+namespace
+{
+
+/** errno -> message helper. */
+std::string
+errnoStr()
+{
+    return std::strerror(errno);
+}
+
+int
+newSocket(NetAddress::Family family)
+{
+    const int domain =
+        family == NetAddress::Family::Unix ? AF_UNIX : AF_INET;
+    int fd = ::socket(domain, SOCK_STREAM, 0);
+    if (fd < 0)
+        raiseError<ConnectionLost>("socket(): ", errnoStr());
+    return fd;
+}
+
+/** Fill a sockaddr for `addr`; returns its length. */
+socklen_t
+fillSockaddr(const NetAddress &addr, sockaddr_storage &ss)
+{
+    std::memset(&ss, 0, sizeof(ss));
+    if (addr.family == NetAddress::Family::Unix) {
+        auto *sun = reinterpret_cast<sockaddr_un *>(&ss);
+        sun->sun_family = AF_UNIX;
+        if (addr.path.size() >= sizeof(sun->sun_path)) {
+            raiseError<InputError>("unix socket path too long: '",
+                                   addr.path, "'");
+        }
+        std::memcpy(sun->sun_path, addr.path.c_str(),
+                    addr.path.size() + 1);
+        return socklen_t(offsetof(sockaddr_un, sun_path) +
+                         addr.path.size() + 1);
+    }
+    auto *sin = reinterpret_cast<sockaddr_in *>(&ss);
+    sin->sin_family = AF_INET;
+    sin->sin_port = htons(std::uint16_t(addr.port));
+    const std::string host =
+        addr.host.empty() || addr.host == "localhost" ? "127.0.0.1"
+                                                      : addr.host;
+    if (inet_pton(AF_INET, host.c_str(), &sin->sin_addr) != 1) {
+        raiseError<InputError>("bad IPv4 host '", addr.host,
+                               "' (use a dotted quad or localhost)");
+    }
+    return socklen_t(sizeof(sockaddr_in));
+}
+
+} // namespace
+
+std::string
+NetAddress::spec() const
+{
+    if (family == Family::Unix)
+        return "unix:" + path;
+    return "tcp:" + host + ":" + std::to_string(port);
+}
+
+NetAddress
+NetAddress::parse(const std::string &spec)
+{
+    NetAddress a;
+    if (spec.rfind("unix:", 0) == 0) {
+        a.family = Family::Unix;
+        a.path = spec.substr(5);
+        if (a.path.empty())
+            raiseError<InputError>("empty unix socket path in '",
+                                   spec, "'");
+        return a;
+    }
+    if (spec.rfind("tcp:", 0) == 0) {
+        a.family = Family::Tcp;
+        const std::string rest = spec.substr(4);
+        const auto colon = rest.rfind(':');
+        if (colon == std::string::npos || colon + 1 == rest.size()) {
+            raiseError<InputError>("expected tcp:host:port, got '",
+                                   spec, "'");
+        }
+        a.host = rest.substr(0, colon);
+        char *end = nullptr;
+        const unsigned long port =
+            std::strtoul(rest.c_str() + colon + 1, &end, 10);
+        if (!end || *end != '\0' || port > 65535) {
+            raiseError<InputError>("bad port in '", spec, "'");
+        }
+        a.port = unsigned(port);
+        return a;
+    }
+    raiseError<InputError>("address must be unix:<path> or "
+                           "tcp:<host>:<port>, got '", spec, "'");
+}
+
+void
+Socket::close()
+{
+    if (sockFd >= 0) {
+        ::close(sockFd);
+        sockFd = -1;
+    }
+}
+
+void
+Socket::setNonBlocking(bool on)
+{
+    const int fl = fcntl(sockFd, F_GETFL, 0);
+    fcntl(sockFd, F_SETFL, on ? (fl | O_NONBLOCK)
+                              : (fl & ~O_NONBLOCK));
+}
+
+void
+Socket::setIoTimeout(double seconds)
+{
+    struct timeval tv;
+    tv.tv_sec = long(seconds);
+    tv.tv_usec = long((seconds - double(tv.tv_sec)) * 1e6);
+    setsockopt(sockFd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    setsockopt(sockFd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+void
+Socket::setLingerReset()
+{
+    struct linger lg;
+    lg.l_onoff = 1;
+    lg.l_linger = 0;
+    setsockopt(sockFd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+}
+
+bool
+Socket::sendAll(const std::string &data)
+{
+    const char *p = data.data();
+    std::size_t left = data.size();
+    while (left > 0) {
+        const ssize_t n = ::send(sockFd, p, left, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        left -= std::size_t(n);
+    }
+    return true;
+}
+
+std::string
+Socket::recvSome(std::size_t max, bool &eof)
+{
+    eof = false;
+    std::string buf(max, '\0');
+    for (;;) {
+        const ssize_t n = ::recv(sockFd, buf.data(), max, 0);
+        if (n > 0) {
+            buf.resize(std::size_t(n));
+            return buf;
+        }
+        if (n == 0) {
+            eof = true;
+            return std::string();
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return std::string(); // receive timeout
+        raiseError<ConnectionLost>("recv(): ", errnoStr());
+    }
+}
+
+void
+Listener::open(const NetAddress &addr)
+{
+    close();
+    Socket s(newSocket(addr.family));
+    if (addr.family == NetAddress::Family::Unix) {
+        // A stale path from a dead server would make bind fail.
+        ::unlink(addr.path.c_str());
+    } else {
+        const int one = 1;
+        setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one,
+                   sizeof(one));
+    }
+    sockaddr_storage ss;
+    const socklen_t len = fillSockaddr(addr, ss);
+    if (::bind(s.fd(), reinterpret_cast<sockaddr *>(&ss), len) != 0) {
+        raiseError<ConnectionLost>("bind(", addr.spec(), "): ",
+                                   errnoStr());
+    }
+    if (::listen(s.fd(), 64) != 0) {
+        raiseError<ConnectionLost>("listen(", addr.spec(), "): ",
+                                   errnoStr());
+    }
+    bound = addr;
+    if (addr.family == NetAddress::Family::Tcp && addr.port == 0) {
+        sockaddr_in sin;
+        socklen_t slen = sizeof(sin);
+        if (getsockname(s.fd(), reinterpret_cast<sockaddr *>(&sin),
+                        &slen) == 0)
+            bound.port = ntohs(sin.sin_port);
+    }
+    if (addr.family == NetAddress::Family::Unix)
+        unlinkPath = addr.path;
+    s.setNonBlocking(true);
+    sock = std::move(s);
+}
+
+void
+Listener::close()
+{
+    sock.close();
+    if (!unlinkPath.empty()) {
+        ::unlink(unlinkPath.c_str());
+        unlinkPath.clear();
+    }
+}
+
+Socket
+Listener::accept()
+{
+    const int fd = ::accept(sock.fd(), nullptr, nullptr);
+    if (fd < 0)
+        return Socket();
+    Socket s(fd);
+    s.setNonBlocking(true);
+    return s;
+}
+
+Socket
+connectTo(const NetAddress &addr, double timeout_s,
+          double io_timeout_s)
+{
+    Socket s(newSocket(addr.family));
+    s.setNonBlocking(true);
+    sockaddr_storage ss;
+    const socklen_t len = fillSockaddr(addr, ss);
+    int rc = ::connect(s.fd(), reinterpret_cast<sockaddr *>(&ss), len);
+    if (rc != 0 && errno != EINPROGRESS && errno != EAGAIN) {
+        raiseError<ConnectionLost>("connect(", addr.spec(), "): ",
+                                   errnoStr());
+    }
+    if (rc != 0) {
+        struct pollfd pfd;
+        pfd.fd = s.fd();
+        pfd.events = POLLOUT;
+        pfd.revents = 0;
+        const int pr = ::poll(&pfd, 1, int(timeout_s * 1000));
+        if (pr <= 0) {
+            raiseError<ConnectionLost>("connect(", addr.spec(),
+                                       "): timeout after ", timeout_s,
+                                       "s");
+        }
+        int err = 0;
+        socklen_t elen = sizeof(err);
+        if (getsockopt(s.fd(), SOL_SOCKET, SO_ERROR, &err, &elen) !=
+                0 ||
+            err != 0) {
+            errno = err;
+            raiseError<ConnectionLost>("connect(", addr.spec(),
+                                       "): ", errnoStr());
+        }
+    }
+    s.setNonBlocking(false);
+    if (io_timeout_s > 0)
+        s.setIoTimeout(io_timeout_s);
+    return s;
+}
+
+} // namespace net
+} // namespace service
+} // namespace harness
+} // namespace soefair

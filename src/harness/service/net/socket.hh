@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Minimal socket layer for the gateway: TCP and Unix-domain
+ * stream sockets behind one address syntax,
+ *
+ *   unix:/path/to/socket        (AF_UNIX)
+ *   tcp:host:port               (AF_INET, port 0 = ephemeral)
+ *
+ * RAII fd ownership (Socket), a listener (Listener) and a blocking
+ * client connect with a real timeout (nonblocking connect + poll).
+ * All failures raise the SimError taxonomy: address syntax errors
+ * are InputError, everything socket-level is ConnectionLost — the
+ * retrying client catches exactly that class.
+ */
+
+#ifndef SOEFAIR_HARNESS_SERVICE_NET_SOCKET_HH
+#define SOEFAIR_HARNESS_SERVICE_NET_SOCKET_HH
+
+#include <string>
+#include <utility>
+
+namespace soefair
+{
+namespace harness
+{
+namespace service
+{
+namespace net
+{
+
+/** Parsed listen/connect address. */
+struct NetAddress
+{
+    enum class Family
+    {
+        Unix,
+        Tcp,
+    };
+    Family family = Family::Unix;
+    /** Unix: socket path. */
+    std::string path;
+    /** Tcp: host + port. */
+    std::string host;
+    unsigned port = 0;
+
+    /** Canonical "unix:..." / "tcp:host:port" spelling. */
+    std::string spec() const;
+
+    /** Parse "unix:/p" or "tcp:host:port"; raises InputError. */
+    static NetAddress parse(const std::string &spec);
+};
+
+/** RAII socket fd. Move-only. */
+class Socket
+{
+  public:
+    Socket() = default;
+    explicit Socket(int fd) : sockFd(fd) {}
+    ~Socket() { close(); }
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+    Socket(Socket &&other) noexcept : sockFd(other.sockFd)
+    {
+        other.sockFd = -1;
+    }
+    Socket &operator=(Socket &&other) noexcept
+    {
+        if (this != &other) {
+            close();
+            sockFd = other.sockFd;
+            other.sockFd = -1;
+        }
+        return *this;
+    }
+
+    int fd() const { return sockFd; }
+    bool valid() const { return sockFd >= 0; }
+    void close();
+    /** Release ownership of the fd. */
+    int release()
+    {
+        int fd = sockFd;
+        sockFd = -1;
+        return fd;
+    }
+
+    void setNonBlocking(bool on);
+    /** SO_RCVTIMEO / SO_SNDTIMEO (0 disables). */
+    void setIoTimeout(double seconds);
+    /** SO_LINGER{1,0}: close() sends RST instead of FIN. */
+    void setLingerReset();
+
+    /**
+     * Send all bytes (blocking). Returns false when the peer is
+     * gone or the send timeout fired.
+     */
+    bool sendAll(const std::string &data);
+
+    /**
+     * Receive up to `max` bytes (blocking, honours the receive
+     * timeout). Returns the bytes read; "" with eof=true on orderly
+     * shutdown, "" with eof=false on timeout/interrupt, and raises
+     * ConnectionLost on a hard error (reset).
+     */
+    std::string recvSome(std::size_t max, bool &eof);
+
+  private:
+    int sockFd = -1;
+};
+
+/** Bound + listening server socket. */
+class Listener
+{
+  public:
+    Listener() = default;
+
+    /**
+     * Bind and listen on `addr`. A Unix path is unlinked first
+     * (stale socket from a dead server); tcp port 0 binds an
+     * ephemeral port. Raises ConnectionLost on failure.
+     */
+    void open(const NetAddress &addr);
+    void close();
+    bool valid() const { return sock.valid(); }
+    int fd() const { return sock.fd(); }
+
+    /** The actual bound address (resolves an ephemeral port). */
+    const NetAddress &boundAddress() const { return bound; }
+
+    /** Accept one connection (nonblocking listener: returns an
+     *  invalid Socket when nothing is pending). */
+    Socket accept();
+
+  private:
+    Socket sock;
+    NetAddress bound;
+    /** Unlink the unix socket path on close. */
+    std::string unlinkPath;
+};
+
+/**
+ * Connect to `addr` with a wall-clock timeout. Raises
+ * ConnectionLost on refusal/timeout/unreachability. The returned
+ * socket is blocking with `io_timeout_s` applied to send/recv.
+ */
+Socket connectTo(const NetAddress &addr, double timeout_s,
+                 double io_timeout_s);
+
+} // namespace net
+} // namespace service
+} // namespace harness
+} // namespace soefair
+
+#endif // SOEFAIR_HARNESS_SERVICE_NET_SOCKET_HH

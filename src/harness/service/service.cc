@@ -103,11 +103,8 @@ campaignFromManifest(const CampaignManifest &m)
                          m.pairs, m.levels);
 }
 
-namespace
-{
-
-std::string
-manifestLine(const CampaignManifest &m)
+std::map<std::string, std::string>
+manifestToFields(const CampaignManifest &m)
 {
     std::ostringstream pairs;
     for (std::size_t i = 0; i < m.pairs.size(); ++i) {
@@ -122,16 +119,70 @@ manifestLine(const CampaignManifest &m)
             levels << ",";
         levels << m.levels[i];
     }
+    std::map<std::string, std::string> f;
+    f["pairs"] = pairs.str();
+    f["levels"] = levels.str();
+    f["measure"] = std::to_string(m.rc.measureInstrs);
+    f["warm"] = std::to_string(m.rc.warmupInstrs);
+    f["twarm"] = std::to_string(m.rc.timingWarmInstrs);
+    f["maxcyc"] = std::to_string(m.rc.maxCycles);
+    f["ff"] = m.rc.fastForward ? "1" : "0";
+    return f;
+}
+
+CampaignManifest
+manifestFromFields(const std::map<std::string, std::string> &f,
+                   const std::string &where)
+{
+    CampaignManifest m;
+    std::stringstream pairsSs(field(f, "pairs"));
+    std::string item;
+    while (std::getline(pairsSs, item, ',')) {
+        const auto colon = item.find(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 == item.size()) {
+            raiseError<CheckpointError>("service: ", where,
+                                        ": bad pair '", item, "'");
+        }
+        m.pairs.emplace_back(item.substr(0, colon),
+                             item.substr(colon + 1));
+    }
+    std::stringstream levelsSs(field(f, "levels"));
+    while (std::getline(levelsSs, item, ','))
+        m.levels.push_back(std::strtod(item.c_str(), nullptr));
+    if (m.pairs.empty() || m.levels.empty()) {
+        raiseError<CheckpointError>("service: ", where,
+                                    ": empty pairs/levels");
+    }
+    m.rc.measureInstrs =
+        std::strtoull(field(f, "measure").c_str(), nullptr, 10);
+    m.rc.warmupInstrs =
+        std::strtoull(field(f, "warm").c_str(), nullptr, 10);
+    m.rc.timingWarmInstrs =
+        std::strtoull(field(f, "twarm").c_str(), nullptr, 10);
+    m.rc.maxCycles =
+        std::strtoull(field(f, "maxcyc").c_str(), nullptr, 10);
+    m.rc.fastForward = field(f, "ff") != "0";
+    return m;
+}
+
+namespace
+{
+
+std::string
+manifestLine(const CampaignManifest &m)
+{
+    const auto f = manifestToFields(m);
     std::ostringstream os;
     os << "{\"manifest\":\"soefair-campaign\",\"v\":"
        << manifestVersion << ",\"pairs\":\""
-       << jsonlEscape(pairs.str()) << "\",\"levels\":\""
-       << jsonlEscape(levels.str())
-       << "\",\"measure\":" << m.rc.measureInstrs
-       << ",\"warm\":" << m.rc.warmupInstrs
-       << ",\"twarm\":" << m.rc.timingWarmInstrs
-       << ",\"maxcyc\":" << m.rc.maxCycles
-       << ",\"ff\":" << (m.rc.fastForward ? 1 : 0) << "}";
+       << jsonlEscape(f.at("pairs")) << "\",\"levels\":\""
+       << jsonlEscape(f.at("levels"))
+       << "\",\"measure\":" << f.at("measure")
+       << ",\"warm\":" << f.at("warm")
+       << ",\"twarm\":" << f.at("twarm")
+       << ",\"maxcyc\":" << f.at("maxcyc")
+       << ",\"ff\":" << f.at("ff") << "}";
     return jsonlSealLine(os.str());
 }
 
@@ -189,35 +240,7 @@ loadManifest(const std::string &queue_dir)
             field(f, "v"), "')");
     }
 
-    CampaignManifest m;
-    std::stringstream pairsSs(field(f, "pairs"));
-    std::string item;
-    while (std::getline(pairsSs, item, ',')) {
-        const auto colon = item.find(':');
-        if (colon == std::string::npos) {
-            raiseError<CheckpointError>("service: manifest '", path,
-                                        "': bad pair '", item, "'");
-        }
-        m.pairs.emplace_back(item.substr(0, colon),
-                             item.substr(colon + 1));
-    }
-    std::stringstream levelsSs(field(f, "levels"));
-    while (std::getline(levelsSs, item, ','))
-        m.levels.push_back(std::strtod(item.c_str(), nullptr));
-    if (m.pairs.empty() || m.levels.empty()) {
-        raiseError<CheckpointError>("service: manifest '", path,
-                                    "': empty pairs/levels");
-    }
-    m.rc.measureInstrs =
-        std::strtoull(field(f, "measure").c_str(), nullptr, 10);
-    m.rc.warmupInstrs =
-        std::strtoull(field(f, "warm").c_str(), nullptr, 10);
-    m.rc.timingWarmInstrs =
-        std::strtoull(field(f, "twarm").c_str(), nullptr, 10);
-    m.rc.maxCycles =
-        std::strtoull(field(f, "maxcyc").c_str(), nullptr, 10);
-    m.rc.fastForward = field(f, "ff") != "0";
-    return m;
+    return manifestFromFields(f, "manifest '" + path + "'");
 }
 
 SweepService::SweepService(const ServiceConfig &config) : cfg(config)

@@ -36,6 +36,7 @@
 
 #include <csignal>
 #include <functional>
+#include <map>
 #include <ostream>
 #include <string>
 #include <utility>
@@ -69,6 +70,20 @@ struct CampaignManifest
 
 /** Build the campaign a manifest describes. */
 SweepCampaign campaignFromManifest(const CampaignManifest &m);
+
+/**
+ * Flat string fields of a manifest (the serialization both the
+ * on-disk manifest line and the gateway wire protocol use):
+ * pairs, levels, measure, warm, twarm, maxcyc, ff.
+ */
+std::map<std::string, std::string>
+manifestToFields(const CampaignManifest &m);
+
+/** Rebuild a manifest from its flat fields; raises CheckpointError
+ *  (mentioning `where`) on malformed pairs/levels. */
+CampaignManifest
+manifestFromFields(const std::map<std::string, std::string> &f,
+                   const std::string &where);
 
 /** Write `<queue_dir>/manifest.jsonl` (atomic replace). */
 void writeManifest(const std::string &queue_dir,

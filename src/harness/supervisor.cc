@@ -99,7 +99,8 @@ SweepSupervisor::isTransient(const std::string &fail_class)
 {
     return fail_class == "estimator" || fail_class == "watchdog" ||
            fail_class == "panic" || fail_class == "signal" ||
-           fail_class == "deadline" || fail_class == "fork";
+           fail_class == "deadline" || fail_class == "fork" ||
+           fail_class == "connection";
 }
 
 double

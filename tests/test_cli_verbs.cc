@@ -1,0 +1,123 @@
+/**
+ * @file
+ * CLI help-coverage tests: every verb the CLI dispatches must be in
+ * the registry with a synopsis, a description and an exit-code
+ * contract, and the rendered help must actually show them. Adding a
+ * verb without documenting it is a test failure, not a silent gap.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "harness/cli_verbs.hh"
+
+using namespace soefair::harness;
+
+TEST(CliVerbs, RegistryCoversEveryDispatchedVerb)
+{
+    const char *expected[] = {
+        "help",    "list",   "machine",    "run-st",
+        "run-soe", "sweep",  "record-trace", "enqueue",
+        "serve",   "drain",  "gateway",    "submit",
+        "watch",   "chaosproxy", "analytic", "faults",
+    };
+    std::set<std::string> names;
+    for (const auto &verb : cliVerbs())
+        names.insert(verb.name);
+    for (const char *want : expected)
+        EXPECT_EQ(names.count(want), 1u) << "verb: " << want;
+    // And nothing registered twice.
+    EXPECT_EQ(names.size(), cliVerbs().size());
+}
+
+TEST(CliVerbs, EveryVerbDocumentsItselfCompletely)
+{
+    ASSERT_FALSE(cliVerbs().empty());
+    for (const auto &verb : cliVerbs()) {
+        EXPECT_FALSE(verb.name.empty());
+        EXPECT_FALSE(verb.description.empty())
+            << "verb: " << verb.name;
+        EXPECT_FALSE(verb.exitCodes.empty())
+            << "verb: " << verb.name;
+        // The synopsis leads with the verb itself.
+        EXPECT_EQ(verb.synopsis.rfind(verb.name, 0), 0u)
+            << "verb: " << verb.name
+            << " synopsis: " << verb.synopsis;
+        for (const auto &opt : verb.options) {
+            EXPECT_EQ(opt.name.rfind("--", 0), 0u)
+                << verb.name << " option: " << opt.name;
+            EXPECT_FALSE(opt.description.empty())
+                << verb.name << " option: " << opt.name;
+        }
+    }
+}
+
+TEST(CliVerbs, NetworkVerbsDocumentTheErrorTaxonomy)
+{
+    // The gateway client's exits are part of the contract: protocol
+    // 14, quota 15, connection 16 (docs/robustness.md).
+    for (const char *name : {"submit", "watch"}) {
+        const CliVerb *verb = findCliVerb(name);
+        ASSERT_NE(verb, nullptr) << name;
+        EXPECT_NE(verb->exitCodes.find("14"), std::string::npos)
+            << name << ": " << verb->exitCodes;
+        EXPECT_NE(verb->exitCodes.find("15"), std::string::npos)
+            << name << ": " << verb->exitCodes;
+        EXPECT_NE(verb->exitCodes.find("16"), std::string::npos)
+            << name << ": " << verb->exitCodes;
+        EXPECT_NE(verb->exitCodes.find("2 usage"),
+                  std::string::npos)
+            << name << ": " << verb->exitCodes;
+    }
+    // And the client verbs must document where to point them.
+    for (const char *name : {"submit", "watch"}) {
+        const CliVerb *verb = findCliVerb(name);
+        bool hasServer = false;
+        for (const auto &opt : verb->options)
+            hasServer |= opt.name.rfind("--server", 0) == 0;
+        EXPECT_TRUE(hasServer) << name;
+    }
+}
+
+TEST(CliVerbs, FindCliVerbResolvesKnownAndRejectsUnknown)
+{
+    EXPECT_NE(findCliVerb("gateway"), nullptr);
+    EXPECT_NE(findCliVerb("chaosproxy"), nullptr);
+    EXPECT_EQ(findCliVerb("no-such-verb"), nullptr);
+    EXPECT_EQ(findCliVerb(""), nullptr);
+}
+
+TEST(CliVerbs, OverviewHelpListsEveryVerb)
+{
+    std::ostringstream os;
+    printCliHelp(os);
+    const std::string help = os.str();
+    for (const auto &verb : cliVerbs()) {
+        EXPECT_NE(help.find("  " + verb.name + "\n"),
+                  std::string::npos)
+            << "verb: " << verb.name;
+        EXPECT_NE(help.find(verb.description), std::string::npos)
+            << "verb: " << verb.name;
+    }
+}
+
+TEST(CliVerbs, VerbHelpShowsEveryOptionAndTheExitCodes)
+{
+    for (const auto &verb : cliVerbs()) {
+        std::ostringstream os;
+        printCliVerbHelp(os, verb);
+        const std::string help = os.str();
+        EXPECT_NE(help.find(verb.synopsis), std::string::npos)
+            << "verb: " << verb.name;
+        EXPECT_NE(help.find("exit codes: " + verb.exitCodes),
+                  std::string::npos)
+            << "verb: " << verb.name;
+        for (const auto &opt : verb.options) {
+            EXPECT_NE(help.find(opt.name), std::string::npos)
+                << verb.name << " option: " << opt.name;
+        }
+    }
+}

@@ -1,0 +1,438 @@
+/**
+ * @file
+ * Gateway end-to-end tests: a forked gateway process (and, for the
+ * chaos test, a forked fault-injecting proxy) exercised through the
+ * real GatewayClient over Unix-domain sockets.
+ *
+ * The load-bearing guarantees under test:
+ *  - a campaign submitted and watched through the gateway aggregates
+ *    to a CSV byte-identical to the in-process sweep;
+ *  - submit is idempotent (re-submitting adds nothing);
+ *  - tenant quotas answer RETRY_LATER and an exhausted retry budget
+ *    surfaces as QuotaExceeded — while the same submit succeeds once
+ *    a worker drains the backlog;
+ *  - a watch stream survives a mid-stream gateway SIGTERM + restart
+ *    with no duplicated and no missing cells;
+ *  - an unwritable root degrades the gateway to read-only mode and
+ *    a writable root restores it;
+ *  - the whole client/server conversation converges byte-identically
+ *    through a fault-injecting chaos proxy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "harness/machine_config.hh"
+#include "harness/service/net/chaos.hh"
+#include "harness/service/net/client.hh"
+#include "harness/service/net/gateway.hh"
+#include "harness/service/service.hh"
+#include "harness/sweep.hh"
+#include "sim/errors.hh"
+
+using namespace soefair;
+using namespace soefair::harness;
+using namespace soefair::harness::service;
+namespace net = soefair::harness::service::net;
+
+namespace
+{
+
+struct TempDir
+{
+    explicit TempDir(const char *name)
+        : path(std::string("/tmp/soefair_net_") + name + "_" +
+               std::to_string(::getpid()))
+    {
+        std::filesystem::remove_all(path);
+        std::filesystem::create_directories(path);
+    }
+    ~TempDir() { std::filesystem::remove_all(path); }
+    std::string path;
+};
+
+RunConfig
+tinyRun()
+{
+    RunConfig rc;
+    rc.warmupInstrs = 20 * 1000;
+    rc.timingWarmInstrs = 5 * 1000;
+    rc.measureInstrs = 20 * 1000;
+    return rc;
+}
+
+CampaignManifest
+tinyManifest(std::vector<double> levels = {0.0, 0.5})
+{
+    CampaignManifest m;
+    m.pairs = {{"gcc", "eon"}};
+    m.levels = std::move(levels);
+    m.rc = tinyRun();
+    return m;
+}
+
+std::string
+referenceCsv(const CampaignManifest &m)
+{
+    EvaluationSweep sweep(MachineConfig::benchDefault(), m.rc);
+    std::vector<PairResult> ref;
+    for (const auto &p : m.pairs)
+        ref.push_back(sweep.runPair(p.first, p.second, m.levels));
+    std::ostringstream os;
+    writePairResultsCsv(os, ref);
+    return os.str();
+}
+
+std::string
+campaignCsv(const CampaignResult &agg)
+{
+    std::ostringstream os;
+    writeCampaignCsv(os, agg);
+    return os.str();
+}
+
+/** Child-process stop flag for forked gateway/proxy servers. */
+volatile std::sig_atomic_t gChildStop = 0;
+
+void
+onChildStop(int)
+{
+    gChildStop = 1;
+}
+
+pid_t
+forkGateway(net::GatewayConfig cfg)
+{
+    const pid_t pid = ::fork();
+    if (pid != 0)
+        return pid;
+    gChildStop = 0;
+    std::signal(SIGTERM, onChildStop);
+    std::signal(SIGINT, onChildStop);
+    cfg.stopFlag = &gChildStop;
+    try {
+        net::Gateway gw(cfg);
+        gw.open();
+        gw.run();
+    } catch (...) {
+        ::_exit(3);
+    }
+    ::_exit(0);
+}
+
+pid_t
+forkChaos(net::ChaosConfig cfg)
+{
+    const pid_t pid = ::fork();
+    if (pid != 0)
+        return pid;
+    gChildStop = 0;
+    std::signal(SIGTERM, onChildStop);
+    std::signal(SIGINT, onChildStop);
+    cfg.stopFlag = &gChildStop;
+    try {
+        net::ChaosProxy proxy(cfg);
+        proxy.open();
+        proxy.run();
+    } catch (...) {
+        ::_exit(3);
+    }
+    ::_exit(0);
+}
+
+/** Wait for a forked server's Unix socket to appear. */
+bool
+waitForSocket(const std::string &path, double seconds = 10.0)
+{
+    for (int i = 0; i < int(seconds * 50); ++i) {
+        struct stat st;
+        if (::stat(path.c_str(), &st) == 0)
+            return true;
+        ::usleep(20 * 1000);
+    }
+    return false;
+}
+
+/** SIGTERM a forked server and reap it; returns its exit code. */
+int
+stopChild(pid_t pid)
+{
+    if (pid <= 0)
+        return -1;
+    ::kill(pid, SIGTERM);
+    int status = 0;
+    if (::waitpid(pid, &status, 0) != pid)
+        return -1;
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+net::GatewayConfig
+quickGateway(const std::string &sock, const std::string &root)
+{
+    net::GatewayConfig cfg;
+    cfg.listen = net::NetAddress::parse("unix:" + sock);
+    cfg.rootDir = root;
+    cfg.heartbeatSeconds = 0.2;
+    cfg.retryBackoffMs = 100;
+    return cfg;
+}
+
+net::ClientConfig
+quickClient(const std::string &sock)
+{
+    net::ClientConfig cfg;
+    cfg.server = "unix:" + sock;
+    cfg.connectTimeoutSeconds = 5.0;
+    // Short relative to the 0.2s heartbeat: a dropped chunk costs a
+    // quick timeout + reconnect, not a long stall.
+    cfg.ioTimeoutSeconds = 3.0;
+    cfg.maxAttempts = 10;
+    cfg.backoffBaseSeconds = 0.05;
+    cfg.backoffMaxSeconds = 0.5;
+    cfg.seed = 3;
+    return cfg;
+}
+
+} // namespace
+
+TEST(GatewayNet, CampaignDirNameIsStableAndFilesystemSafe)
+{
+    const std::string key =
+        "sweep-campaign-v1 machine=x pairs=gcc:eon| levels=0,0.5,";
+    const std::string name = net::Gateway::campaignDirName(key);
+    EXPECT_EQ(name, net::Gateway::campaignDirName(key));
+    EXPECT_EQ(name.rfind("c_", 0), 0u);
+    EXPECT_EQ(name.find('/'), std::string::npos);
+    EXPECT_EQ(name.find(' '), std::string::npos);
+    EXPECT_NE(name, net::Gateway::campaignDirName(key + "x"));
+}
+
+TEST(GatewayNet, SubmitWatchGoldenMatchesInProcessSweep)
+{
+    const CampaignManifest m = tinyManifest();
+    const std::string ref = referenceCsv(m);
+
+    TempDir td("golden");
+    const std::string sock = td.path + "/gw.sock";
+    const pid_t gw = forkGateway(quickGateway(sock, td.path + "/root"));
+    ASSERT_TRUE(waitForSocket(sock));
+
+    net::GatewayClient client(quickClient(sock));
+    const net::SubmitReceipt r = client.submit(m);
+    EXPECT_EQ(r.added, 4u); // 2 baselines + 2 SOE cells
+    EXPECT_EQ(r.duplicates, 0u);
+    EXPECT_EQ(r.total, 4u);
+
+    const CampaignResult agg = client.watch(m);
+    ASSERT_TRUE(agg.complete());
+    EXPECT_EQ(campaignCsv(agg), ref);
+
+    EXPECT_EQ(stopChild(gw), 0);
+}
+
+TEST(GatewayNet, ResubmitIsIdempotent)
+{
+    const CampaignManifest m = tinyManifest();
+
+    TempDir td("idem");
+    const std::string sock = td.path + "/gw.sock";
+    net::GatewayConfig gcfg = quickGateway(sock, td.path + "/root");
+    gcfg.runWorkers = false; // keep every job open
+    const pid_t gw = forkGateway(gcfg);
+    ASSERT_TRUE(waitForSocket(sock));
+
+    net::GatewayClient client(quickClient(sock));
+    const net::SubmitReceipt first = client.submit(m);
+    EXPECT_EQ(first.added, 4u);
+
+    // Exactly what a client that lost the `accepted` reply does.
+    const net::SubmitReceipt again = client.submit(m);
+    EXPECT_EQ(again.key, first.key);
+    EXPECT_EQ(again.added, 0u);
+    EXPECT_EQ(again.duplicates, 4u);
+    EXPECT_EQ(again.total, 4u);
+
+    EXPECT_EQ(stopChild(gw), 0);
+}
+
+TEST(GatewayNet, TenantQuotaDefersThenSucceedsOnceDrained)
+{
+    const CampaignManifest a = tinyManifest({0.0, 0.5});
+    const CampaignManifest b = tinyManifest({0.25, 0.75});
+
+    TempDir td("quota");
+    const std::string sock = td.path + "/gw.sock";
+    net::GatewayConfig gcfg = quickGateway(sock, td.path + "/root");
+    gcfg.runWorkers = false; // campaign A stays open
+    gcfg.tenantQuota = 4;
+    pid_t gw = forkGateway(gcfg);
+    ASSERT_TRUE(waitForSocket(sock));
+
+    {
+        net::GatewayClient client(quickClient(sock));
+        EXPECT_EQ(client.submit(a).added, 4u);
+
+        // Same tenant, quota full: RETRY_LATER until the budget is
+        // spent, then QuotaExceeded (exit 15 at the CLI).
+        net::ClientConfig ccfg = quickClient(sock);
+        ccfg.retryLaterBudget = 2;
+        net::GatewayClient limited(ccfg);
+        EXPECT_THROW(limited.submit(b), QuotaExceeded);
+        EXPECT_GE(limited.retriesObserved(), 2u);
+
+        // A different tenant has its own quota.
+        net::ClientConfig ocfg = quickClient(sock);
+        ocfg.tenant = "other";
+        net::GatewayClient other(ocfg);
+        EXPECT_EQ(other.submit(tinyManifest({0.1, 0.9})).added,
+                  4u);
+    }
+
+    // Restart the gateway with workers: the recovered campaigns
+    // drain, the quota frees up, and the deferred submit succeeds
+    // on retry.
+    EXPECT_EQ(stopChild(gw), 0);
+    net::GatewayConfig wcfg = quickGateway(sock, td.path + "/root");
+    wcfg.tenantQuota = 4;
+    gw = forkGateway(wcfg);
+    ASSERT_TRUE(waitForSocket(sock));
+
+    net::GatewayClient client(quickClient(sock));
+    const net::SubmitReceipt r = client.submit(b);
+    EXPECT_EQ(r.total, 4u);
+    const CampaignResult agg = client.watch(b);
+    ASSERT_TRUE(agg.complete());
+    EXPECT_EQ(campaignCsv(agg), referenceCsv(b));
+
+    EXPECT_EQ(stopChild(gw), 0);
+}
+
+TEST(GatewayNet, WatchResumesAcrossGatewayRestartMidStream)
+{
+    const CampaignManifest m =
+        tinyManifest({0.0, 0.25, 0.5, 0.75}); // 6 cells
+    const std::string ref = referenceCsv(m);
+
+    TempDir td("restart");
+    const std::string sock = td.path + "/gw.sock";
+    const net::GatewayConfig gcfg =
+        quickGateway(sock, td.path + "/root");
+    pid_t gw = forkGateway(gcfg);
+    ASSERT_TRUE(waitForSocket(sock));
+
+    net::GatewayClient client(quickClient(sock));
+    ASSERT_EQ(client.submit(m).total, 6u);
+
+    // Kill the gateway after the first streamed cell; restart it on
+    // the same root and socket. The client must reconnect, resume
+    // from the last acknowledged index, and deliver every cell
+    // exactly once.
+    std::vector<bool> seen(6, false);
+    bool killedOnce = false;
+    const CampaignResult agg = client.watch(
+        m, [&](std::size_t i, const JobOutcome &o) {
+            ASSERT_LT(i, seen.size());
+            EXPECT_FALSE(seen[i]) << "cell " << i << " duplicated";
+            seen[i] = true;
+            EXPECT_TRUE(o.done) << o.id << ": " << o.detail;
+            if (!killedOnce) {
+                killedOnce = true;
+                EXPECT_EQ(stopChild(gw), 0);
+                gw = forkGateway(gcfg);
+                ASSERT_TRUE(waitForSocket(sock));
+            }
+        });
+
+    ASSERT_TRUE(killedOnce);
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        EXPECT_TRUE(seen[i]) << "cell " << i << " missing";
+    ASSERT_TRUE(agg.complete());
+    EXPECT_EQ(campaignCsv(agg), ref);
+    // The restart necessarily cost at least one reconnect.
+    EXPECT_GE(client.retriesObserved(), 1u);
+
+    EXPECT_EQ(stopChild(gw), 0);
+}
+
+TEST(GatewayNet, UnwritableRootDegradesToReadOnlyAndRecovers)
+{
+    TempDir td("ro");
+    // The root's parent is a regular file: mkdir and the writability
+    // probe both fail, so the gateway must come up read-only.
+    const std::string blocker = td.path + "/blocker";
+    {
+        std::ofstream os(blocker, std::ios::binary);
+        os << "in the way\n";
+    }
+    const std::string root = blocker + "/root";
+    const std::string sock = td.path + "/gw.sock";
+    net::GatewayConfig gcfg = quickGateway(sock, root);
+    gcfg.runWorkers = false;
+    const pid_t gw = forkGateway(gcfg);
+    ASSERT_TRUE(waitForSocket(sock));
+
+    net::GatewayClient client(quickClient(sock));
+    EXPECT_EQ(net::netField(client.status(), "mode"), "ro");
+
+    // Submits are deferred (backpressure), not failed; a client with
+    // no retry budget gives up with ConnectionLost (exit 16).
+    net::ClientConfig ccfg = quickClient(sock);
+    ccfg.retryLaterBudget = 0;
+    net::GatewayClient impatient(ccfg);
+    EXPECT_THROW(impatient.submit(tinyManifest()), ConnectionLost);
+
+    // Clear the blockage: the next writability probe restores
+    // read-write mode and the same submit is accepted.
+    std::filesystem::remove(blocker);
+    std::filesystem::create_directories(root);
+    EXPECT_EQ(net::netField(client.status(), "mode"), "rw");
+    EXPECT_EQ(client.submit(tinyManifest()).added, 4u);
+
+    EXPECT_EQ(stopChild(gw), 0);
+}
+
+TEST(GatewayNet, ChaosProxyGoldenConvergesByteIdentical)
+{
+    const CampaignManifest m = tinyManifest();
+    const std::string ref = referenceCsv(m);
+
+    TempDir td("chaos");
+    const std::string gwSock = td.path + "/gw.sock";
+    const std::string pxSock = td.path + "/px.sock";
+    const pid_t gw =
+        forkGateway(quickGateway(gwSock, td.path + "/root"));
+    ASSERT_TRUE(waitForSocket(gwSock));
+
+    net::ChaosConfig pcfg;
+    pcfg.listen = net::NetAddress::parse("unix:" + pxSock);
+    pcfg.upstream = net::NetAddress::parse("unix:" + gwSock);
+    pcfg.seed = 7;
+    pcfg.faultRate = 0.4;
+    pcfg.maxDelayMs = 20;
+    pcfg.maxFaults = 8;
+    const pid_t px = forkChaos(pcfg);
+    ASSERT_TRUE(waitForSocket(pxSock));
+
+    // The client talks only to the proxy; every drop, duplicate,
+    // corruption, truncation and reset must be absorbed by the
+    // retry/resume machinery without changing the result.
+    net::GatewayClient client(quickClient(pxSock));
+    const net::SubmitReceipt r = client.submit(m);
+    EXPECT_EQ(r.total, 4u);
+    const CampaignResult agg = client.watch(m);
+    ASSERT_TRUE(agg.complete());
+    EXPECT_EQ(campaignCsv(agg), ref);
+
+    EXPECT_EQ(stopChild(px), 0);
+    EXPECT_EQ(stopChild(gw), 0);
+}

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Wire-protocol framing tests: round trips through FrameReader
+ * under arbitrary chunking, multiple frames per feed, and the full
+ * corruption taxonomy — bad magic, oversized or non-numeric length,
+ * unterminated header, missing terminator, checksum failure,
+ * unparsable payload — each of which must put the reader into its
+ * sticky Corrupt state.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/jsonl.hh"
+#include "harness/service/net/frame.hh"
+
+using namespace soefair::harness;
+using namespace soefair::harness::service::net;
+
+namespace
+{
+
+/** Feed a whole buffer and expect exactly one message. */
+NetMessage
+decodeOne(const std::string &bytes)
+{
+    FrameReader r;
+    r.feed(bytes);
+    NetMessage msg;
+    EXPECT_EQ(r.next(msg), FrameReader::Status::Message)
+        << r.detail();
+    NetMessage extra;
+    EXPECT_EQ(r.next(extra), FrameReader::Status::NeedMore);
+    EXPECT_FALSE(r.midFrame());
+    return msg;
+}
+
+/** Expect the reader to go (and stay) Corrupt on these bytes. */
+void
+expectCorrupt(const std::string &bytes, const char *what)
+{
+    FrameReader r;
+    r.feed(bytes);
+    NetMessage msg;
+    EXPECT_EQ(r.next(msg), FrameReader::Status::Corrupt) << what;
+    EXPECT_FALSE(r.detail().empty()) << what;
+    // Sticky: a valid frame after the damage changes nothing.
+    r.feed(NetMessageBuilder("hb").frame());
+    EXPECT_EQ(r.next(msg), FrameReader::Status::Corrupt) << what;
+}
+
+} // namespace
+
+TEST(NetFrame, BuilderRoundTripsStringsAndNumbers)
+{
+    const std::string frame = NetMessageBuilder("submit")
+                                  .str("key", "sweep-campaign-v1 x")
+                                  .str("odd", "a\nb\t\"c\"\\d")
+                                  .num("from", 12345678901234ull)
+                                  .num("zero", 0)
+                                  .frame();
+    const NetMessage msg = decodeOne(frame);
+    EXPECT_EQ(netField(msg, "t"), "submit");
+    EXPECT_EQ(netField(msg, "key"), "sweep-campaign-v1 x");
+    EXPECT_EQ(netField(msg, "odd"), "a\nb\t\"c\"\\d");
+    EXPECT_EQ(netField(msg, "from"), "12345678901234");
+    EXPECT_EQ(netField(msg, "zero"), "0");
+    EXPECT_EQ(netField(msg, "absent"), "");
+}
+
+TEST(NetFrame, ByteAtATimeDeliveryDecodes)
+{
+    const std::string frame =
+        NetMessageBuilder("cell").num("i", 3).str("job", "st:gcc:0")
+            .frame();
+    FrameReader r;
+    NetMessage msg;
+    for (std::size_t i = 0; i + 1 < frame.size(); ++i) {
+        r.feed(frame.data() + i, 1);
+        ASSERT_EQ(r.next(msg), FrameReader::Status::NeedMore)
+            << "byte " << i;
+        EXPECT_TRUE(r.midFrame());
+    }
+    r.feed(frame.data() + frame.size() - 1, 1);
+    ASSERT_EQ(r.next(msg), FrameReader::Status::Message)
+        << r.detail();
+    EXPECT_EQ(netField(msg, "i"), "3");
+    EXPECT_EQ(netField(msg, "job"), "st:gcc:0");
+    EXPECT_FALSE(r.midFrame());
+}
+
+TEST(NetFrame, MultipleFramesInOneFeed)
+{
+    std::string bytes;
+    for (int i = 0; i < 5; ++i)
+        bytes += NetMessageBuilder("cell").num("i", unsigned(i))
+                     .frame();
+    FrameReader r;
+    r.feed(bytes);
+    for (int i = 0; i < 5; ++i) {
+        NetMessage msg;
+        ASSERT_EQ(r.next(msg), FrameReader::Status::Message)
+            << "frame " << i << ": " << r.detail();
+        EXPECT_EQ(netField(msg, "i"), std::to_string(i));
+    }
+    NetMessage extra;
+    EXPECT_EQ(r.next(extra), FrameReader::Status::NeedMore);
+}
+
+TEST(NetFrame, DuplicatedFrameYieldsTwoIdenticalMessages)
+{
+    // What the chaos proxy's `dup` action produces on the wire.
+    const std::string one =
+        NetMessageBuilder("hb").num("n", 9).frame();
+    FrameReader r;
+    r.feed(one + one);
+    NetMessage a, b, extra;
+    ASSERT_EQ(r.next(a), FrameReader::Status::Message);
+    ASSERT_EQ(r.next(b), FrameReader::Status::Message);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(r.next(extra), FrameReader::Status::NeedMore);
+}
+
+TEST(NetFrame, SingleByteFlipAnywhereIsDetected)
+{
+    const std::string frame =
+        NetMessageBuilder("accepted").num("added", 4).frame();
+    for (std::size_t i = 0; i < frame.size(); ++i) {
+        std::string bad = frame;
+        bad[i] = char(bad[i] ^ 0x40);
+        FrameReader r;
+        r.feed(bad);
+        NetMessage msg;
+        // A flip may corrupt the header, the payload, or the
+        // terminator; a flip in the length digits may also leave
+        // the reader waiting for bytes that never come. It must
+        // never produce a Message.
+        EXPECT_NE(r.next(msg), FrameReader::Status::Message)
+            << "flipped byte " << i;
+    }
+}
+
+TEST(NetFrame, CorruptionTaxonomy)
+{
+    const std::string sealed =
+        jsonlSealLine("{\"t\":\"hb\"}");
+
+    expectCorrupt("xfw1 10\nwhatever..\n", "bad magic");
+    expectCorrupt("sfw1 abc\n", "non-numeric length");
+    expectCorrupt("sfw1 \n", "missing length");
+    expectCorrupt("sfw1 9000000\n", "length over frameMaxPayload");
+    expectCorrupt(std::string(frameMaxHeader + 1, '9'),
+                  "unterminated header");
+    // Length that cuts the payload short: the byte where the
+    // terminator should be is payload, not '\n'.
+    expectCorrupt("sfw1 " + std::to_string(sealed.size() - 1) +
+                      "\n" + sealed + "\n",
+                  "missing terminator");
+    // Correctly framed but unsealed payload fails verification.
+    const std::string bare = "{\"t\":\"hb\"}";
+    expectCorrupt("sfw1 " + std::to_string(bare.size()) + "\n" +
+                      bare + "\n",
+                  "unsealed payload");
+    // Sealed but unparsable payload (seal a non-object).
+    const std::string junk = jsonlSealLine("{\"t\":nope}");
+    expectCorrupt("sfw1 " + std::to_string(junk.size()) + "\n" +
+                      junk + "\n",
+                  "unparsable payload");
+}
+
+TEST(NetFrame, FeedAfterCorruptIsIgnored)
+{
+    FrameReader r;
+    r.feed("garbage that is much longer than the header cap\n");
+    NetMessage msg;
+    ASSERT_EQ(r.next(msg), FrameReader::Status::Corrupt);
+    const std::string detail = r.detail();
+    r.feed(NetMessageBuilder("hb").frame());
+    EXPECT_EQ(r.next(msg), FrameReader::Status::Corrupt);
+    EXPECT_EQ(r.detail(), detail);
+}

@@ -39,6 +39,22 @@
  *                                aggregate: one-command service
  *                                campaign emitting the same CSV as
  *                                `sweep` (same exit codes)
+ *   gateway                      network front-end of the sweep
+ *                                service: framed submit/watch/status
+ *                                over unix/tcp sockets with tenant
+ *                                quotas and RETRY_LATER backpressure
+ *                                (--listen ADDR --root DIR; see
+ *                                docs/robustness.md)
+ *   submit                       submit a campaign to a gateway
+ *                                (idempotent, retrying) and stream
+ *                                its results to CSV (--server ADDR)
+ *   watch                        re-attach to a submitted campaign's
+ *                                result stream (--server, --key)
+ *   chaosproxy                   deterministic fault-injecting proxy
+ *                                between client and gateway
+ *                                (--listen, --upstream, --seed)
+ *   help [verb]                  the full verb registry: options and
+ *                                exit codes per verb
  *   analytic                     evaluate the analytical model
  *   faults [scenario|all]        fault-injection harness: run one
  *                                scenario (or all) and report
@@ -118,8 +134,12 @@
 #include "core/analytic.hh"
 #include "core/metrics.hh"
 #include "harness/cli.hh"
+#include "harness/cli_verbs.hh"
 #include "harness/machine_config.hh"
 #include "harness/runner.hh"
+#include "harness/service/net/chaos.hh"
+#include "harness/service/net/client.hh"
+#include "harness/service/net/gateway.hh"
 #include "harness/service/service.hh"
 #include "harness/sweep.hh"
 #include "harness/table.hh"
@@ -141,13 +161,7 @@ namespace
 int
 usage()
 {
-    std::cerr <<
-        "usage: soefair_cli <command> [args] [options]\n"
-        "commands: list | machine | run-st <bench> | "
-        "run-soe <benchA> <benchB>... | record-trace <bench> | "
-        "sweep | enqueue | serve | drain | analytic | "
-        "faults [scenario|all]\n"
-        "see the header of tools/soefair_cli.cc for all options\n";
+    printCliHelp(std::cerr);
     return 2;
 }
 
@@ -640,6 +654,170 @@ cmdDrain(const CliOptions &opts)
     return agg.exitCode();
 }
 
+namespace net = service::net;
+
+/** Shared CSV emission for sweep-shaped aggregates. */
+int
+emitAggregate(const CliOptions &opts, const CampaignResult &agg,
+              const char *tag)
+{
+    const std::string out = opts.getString("out", "");
+    if (out.empty()) {
+        writeCampaignCsv(std::cout, agg);
+    } else {
+        std::ofstream os(out);
+        if (!os) {
+            std::cerr << "cannot write '" << out << "'\n";
+            return 1;
+        }
+        writeCampaignCsv(os, agg);
+        std::cout << "wrote " << agg.results.size() << " pairs to "
+                  << out << "\n";
+    }
+    if (!agg.complete()) {
+        std::cerr << "[" << tag << "] PARTIAL results: "
+                  << agg.missing.size() << " cell(s) missing\n";
+        for (const auto &m : agg.missing)
+            std::cerr << "[" << tag << "]   " << m.marker() << "\n";
+    }
+    return agg.exitCode();
+}
+
+int
+cmdGateway(const CliOptions &opts)
+{
+    const std::string listen = opts.getString("listen", "");
+    const std::string root = opts.getString("root", "");
+    if (listen.empty() || root.empty()) {
+        std::cerr << "gateway needs --listen ADDR and --root DIR\n";
+        return 2;
+    }
+    net::GatewayConfig cfg;
+    cfg.listen = net::NetAddress::parse(listen);
+    cfg.rootDir = root;
+    cfg.tenantQuota = unsigned(opts.getUint("quota", 0));
+    cfg.maxCampaigns = unsigned(opts.getUint("max-campaigns", 0));
+    cfg.queueCapacity = unsigned(opts.getUint("capacity", 0));
+    cfg.runWorkers = !opts.hasFlag("no-workers");
+    cfg.slots = unsigned(opts.getUint("jobs", 1));
+    cfg.maxAttempts = unsigned(opts.getUint("retries", 3));
+    cfg.backoffBaseSeconds = opts.getDouble("backoff", 0.25);
+    cfg.leaseSeconds = opts.getDouble("lease", 60.0);
+    cfg.deadlineSeconds = opts.getDouble("deadline", 600.0);
+    cfg.retryBackoffMs = unsigned(opts.getUint("retry-ms", 200));
+    cfg.addrFile = opts.getString("addr-file", "");
+    cfg.progress = &std::cerr;
+    cfg.stopFlag = &gStopRequested;
+    std::signal(SIGTERM, onStopSignal);
+    std::signal(SIGINT, onStopSignal);
+    net::Gateway gw(cfg);
+    gw.open();
+    gw.run();
+    return 0;
+}
+
+int
+cmdChaosProxy(const CliOptions &opts)
+{
+    const std::string listen = opts.getString("listen", "");
+    const std::string upstream = opts.getString("upstream", "");
+    if (listen.empty() || upstream.empty()) {
+        std::cerr << "chaosproxy needs --listen ADDR and "
+                     "--upstream ADDR\n";
+        return 2;
+    }
+    net::ChaosConfig cfg;
+    cfg.listen = net::NetAddress::parse(listen);
+    cfg.upstream = net::NetAddress::parse(upstream);
+    cfg.seed = opts.getUint("seed", 1);
+    cfg.faultRate = opts.getDouble("fault-rate", 0.25);
+    cfg.maxFaults = unsigned(opts.getUint("max-faults", 6));
+    cfg.maxDelayMs = unsigned(opts.getUint("max-delay-ms", 40));
+    cfg.progress = &std::cerr;
+    cfg.stopFlag = &gStopRequested;
+    std::signal(SIGTERM, onStopSignal);
+    std::signal(SIGINT, onStopSignal);
+    net::ChaosProxy proxy(cfg);
+    proxy.open();
+    const std::string addrFile = opts.getString("addr-file", "");
+    if (!addrFile.empty()) {
+        std::ofstream os(addrFile);
+        os << proxy.boundAddress().spec() << "\n";
+    }
+    proxy.run();
+    return 0;
+}
+
+bool
+clientConfigFrom(const CliOptions &opts, net::ClientConfig &cfg)
+{
+    cfg.server = opts.getString("server", "");
+    if (cfg.server.empty()) {
+        std::cerr << "--server ADDR is required\n";
+        return false;
+    }
+    cfg.tenant = opts.getString("tenant", "default");
+    cfg.ioTimeoutSeconds = opts.getDouble("timeout", 10.0);
+    cfg.connectTimeoutSeconds =
+        opts.getDouble("connect-timeout", 5.0);
+    cfg.maxAttempts = unsigned(opts.getUint("attempts", 8));
+    cfg.backoffBaseSeconds = opts.getDouble("client-backoff", 0.1);
+    cfg.seed = opts.getUint("seed", 1);
+    cfg.retryLaterBudget =
+        unsigned(opts.getUint("retry-later", 64));
+    if (opts.hasFlag("no-retry")) {
+        cfg.retryLaterBudget = 0;
+        cfg.maxAttempts = 1;
+    }
+    cfg.progress = &std::cerr;
+    return true;
+}
+
+int
+cmdSubmit(const CliOptions &opts)
+{
+    service::CampaignManifest manifest;
+    net::ClientConfig cfg;
+    if (!campaignFromOpts(opts, manifest) ||
+        !clientConfigFrom(opts, cfg))
+        return 2;
+
+    net::GatewayClient client(cfg);
+    const net::SubmitReceipt receipt = client.submit(manifest);
+    std::cout << "submitted campaign " << receipt.key << " ("
+              << receipt.added << " added, " << receipt.duplicates
+              << " already queued, " << receipt.total
+              << " jobs total";
+    if (receipt.retries)
+        std::cout << ", " << receipt.retries << " retries";
+    std::cout << ")\n";
+    if (opts.hasFlag("no-watch"))
+        return 0;
+
+    CampaignResult agg = client.watch(manifest);
+    return emitAggregate(opts, agg, "submit");
+}
+
+int
+cmdWatch(const CliOptions &opts)
+{
+    net::ClientConfig cfg;
+    if (!clientConfigFrom(opts, cfg))
+        return 2;
+    net::GatewayClient client(cfg);
+
+    service::CampaignManifest manifest;
+    const std::string key = opts.getString("key", "");
+    if (!key.empty()) {
+        manifest = client.fetchManifest(key);
+    } else if (!campaignFromOpts(opts, manifest)) {
+        return 2;
+    }
+
+    CampaignResult agg = client.watch(manifest);
+    return emitAggregate(opts, agg, "watch");
+}
+
 int
 cmdAnalytic(const CliOptions &opts)
 {
@@ -750,15 +928,43 @@ main(int argc, char **argv)
     if (argc < 2)
         return usage();
 
+    // `--help`/`-h` anywhere renders the verb registry (before
+    // option parsing, so it never consumes a value).
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg != "--help" && arg != "-h")
+            continue;
+        if (const CliVerb *verb = findCliVerb(argv[1]))
+            printCliVerbHelp(std::cout, *verb);
+        else
+            printCliHelp(std::cout);
+        return 0;
+    }
+
     const std::vector<std::string> flagNames = {
         "measured", "l1-switch", "windows", "stats", "raw",
-        "no-fastforward"};
+        "no-fastforward", "no-workers", "no-watch", "no-retry"};
     CliOptions opts(argc - 1, argv + 1, flagNames);
     if (opts.positional().empty())
         return usage();
 
     try {
         const std::string &cmd = opts.positional()[0];
+        if (cmd == "help") {
+            if (opts.positional().size() > 1) {
+                const CliVerb *verb =
+                    findCliVerb(opts.positional()[1]);
+                if (!verb) {
+                    std::cerr << "unknown command '"
+                              << opts.positional()[1] << "'\n";
+                    return 2;
+                }
+                printCliVerbHelp(std::cout, *verb);
+            } else {
+                printCliHelp(std::cout);
+            }
+            return 0;
+        }
         if (cmd == "list")
             return cmdList();
         if (cmd == "machine")
@@ -777,6 +983,14 @@ main(int argc, char **argv)
             return cmdServe(opts);
         if (cmd == "drain")
             return cmdDrain(opts);
+        if (cmd == "gateway")
+            return cmdGateway(opts);
+        if (cmd == "submit")
+            return cmdSubmit(opts);
+        if (cmd == "watch")
+            return cmdWatch(opts);
+        if (cmd == "chaosproxy")
+            return cmdChaosProxy(opts);
         if (cmd == "analytic")
             return cmdAnalytic(opts);
         if (cmd == "faults")
@@ -785,7 +999,7 @@ main(int argc, char **argv)
         return usage();
     } catch (const SimError &e) {
         // Typed, defined failure: each class has its own exit code
-        // (10..13; see sim/errors.hh and docs/robustness.md). The
+        // (10..16; see sim/errors.hh and docs/robustness.md). The
         // message was printed when the error was raised.
         return e.exitCode();
     } catch (const FatalError &e) {
