@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "perf_scenarios.hh"
+#include "stats/statfmt.hh"
 
 using namespace soefair;
 using namespace soefair::bench;
@@ -126,11 +127,14 @@ writeReport(std::ostream &os, const std::vector<NamedResult> &results,
         os << "    { \"name\": \"" << n.name << "\", "
            << "\"items_per_sec\": " << std::uint64_t(n.r.instrsPerSec)
            << ", \"items\": " << n.r.instrs << ", \"seconds\": "
-           << n.r.seconds << ", \"skipped_frac\": " << n.r.skippedFrac
+           << statistics::statfmt::csv(n.r.seconds)
+           << ", \"skipped_frac\": "
+           << statistics::statfmt::csv(n.r.skippedFrac)
            << " }" << (i + 1 < results.size() ? "," : "") << "\n";
     }
     os << "  ],\n";
-    os << "  \"derived\": { \"ff_speedup_miss_heavy\": " << ff_speedup
+    os << "  \"derived\": { \"ff_speedup_miss_heavy\": "
+       << statistics::statfmt::csv(ff_speedup)
        << " }\n";
     os << "}\n";
 }
@@ -198,7 +202,8 @@ main(int argc, char **argv)
                   << std::uint64_t(n.r.skippedFrac * 100.0) << "%)"
                   << std::endl;
     }
-    std::cout << "ff_speedup_miss_heavy: " << speedup << "x -> "
+    std::cout << "ff_speedup_miss_heavy: "
+              << statistics::statfmt::csv(speedup) << "x -> "
               << outPath << std::endl;
     return 0;
 }

@@ -24,6 +24,7 @@
 #include "harness/sweep.hh"
 #include "harness/table.hh"
 #include "soe/policies.hh"
+#include "stats/statfmt.hh"
 
 using namespace soefair;
 using namespace soefair::core;
@@ -114,7 +115,8 @@ simulatedPart()
                runner.runSoe(specs, ts, rc));
     }
     for (double f : {0.5, 1.0}) {
-        std::cerr << "[sec6] mechanism F=" << f << "...\n";
+        std::cerr << "[sec6] mechanism F="
+                  << statistics::statfmt::csv(f) << "...\n";
         soe::FairnessPolicy fp(f, mc.soe.missLatency, 2);
         addRow("mechanism F=" + TextTable::num(f, 2),
                runner.runSoe(specs, fp, rc));

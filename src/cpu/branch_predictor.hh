@@ -24,13 +24,14 @@
 #include "isa/micro_op.hh"
 #include "sim/types.hh"
 #include "stats/stats.hh"
+#include "sim/annotations.hh"
 
 namespace soefair
 {
 namespace cpu
 {
 
-struct BranchPredictorConfig
+struct SOE_THREAD_OWNED(config) BranchPredictorConfig
 {
     /** gshare pattern-history table entries (2-bit counters). */
     unsigned phtEntries = 16 * 1024;
@@ -41,7 +42,7 @@ struct BranchPredictorConfig
     unsigned btbAssoc = 4;
 };
 
-class BranchPredictor
+class SOE_THREAD_OWNED(core_lp) BranchPredictor
 {
   public:
     BranchPredictor(const BranchPredictorConfig &config,

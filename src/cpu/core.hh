@@ -32,13 +32,14 @@
 #include "sim/types.hh"
 #include "stats/stats.hh"
 #include "workload/inst_stream.hh"
+#include "sim/annotations.hh"
 
 namespace soefair
 {
 namespace cpu
 {
 
-struct CoreConfig
+struct SOE_THREAD_OWNED(config) CoreConfig
 {
     FetchConfig fetch;
     BranchPredictorConfig bpred;
@@ -131,7 +132,7 @@ class SwitchController
     }
 };
 
-class Core
+class SOE_THREAD_OWNED(core_lp) Core
 {
   public:
     Core(const CoreConfig &config, mem::Hierarchy &hierarchy,

@@ -15,13 +15,14 @@
 #include "cpu/branch_predictor.hh"
 #include "isa/micro_op.hh"
 #include "sim/types.hh"
+#include "sim/annotations.hh"
 
 namespace soefair
 {
 namespace cpu
 {
 
-struct DynInst
+struct SOE_THREAD_OWNED(value) DynInst
 {
     isa::MicroOp op;
     ThreadID tid = 0;

@@ -25,13 +25,14 @@
 #include "sim/types.hh"
 #include "stats/stats.hh"
 #include "workload/inst_stream.hh"
+#include "sim/annotations.hh"
 
 namespace soefair
 {
 namespace cpu
 {
 
-struct FetchConfig
+struct SOE_THREAD_OWNED(config) FetchConfig
 {
     unsigned width = 4;
     unsigned bufferEntries = 16;
@@ -41,7 +42,7 @@ struct FetchConfig
     unsigned redirectDelay = 2;
 };
 
-class FetchUnit
+class SOE_THREAD_OWNED(core_lp) FetchUnit
 {
   public:
     FetchUnit(const FetchConfig &config, mem::Hierarchy &hierarchy,

@@ -15,13 +15,14 @@
 
 #include "isa/micro_op.hh"
 #include "sim/types.hh"
+#include "sim/annotations.hh"
 
 namespace soefair
 {
 namespace cpu
 {
 
-struct FuPoolConfig
+struct SOE_THREAD_OWNED(config) FuPoolConfig
 {
     unsigned intAlu = 3;
     unsigned intMul = 1;
@@ -33,7 +34,7 @@ struct FuPoolConfig
     unsigned memPorts = 2;
 };
 
-class FuPool
+class SOE_THREAD_OWNED(core_lp) FuPool
 {
   public:
     explicit FuPool(const FuPoolConfig &config);

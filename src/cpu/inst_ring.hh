@@ -22,13 +22,14 @@
 
 #include "cpu/dyn_inst.hh"
 #include "sim/logging.hh"
+#include "sim/annotations.hh"
 
 namespace soefair
 {
 namespace cpu
 {
 
-class InstRing
+class SOE_THREAD_OWNED(core_lp) InstRing
 {
   public:
     explicit InstRing(std::size_t capacity) : slots(capacity)

@@ -15,13 +15,14 @@
 
 #include "cpu/dyn_inst.hh"
 #include "sim/logging.hh"
+#include "sim/annotations.hh"
 
 namespace soefair
 {
 namespace cpu
 {
 
-class IssueQueue
+class SOE_THREAD_OWNED(core_lp) IssueQueue
 {
   public:
     explicit IssueQueue(unsigned capacity) : cap(capacity)

@@ -17,6 +17,7 @@
 #include "cpu/dyn_inst.hh"
 #include "sim/invariant.hh"
 #include "sim/logging.hh"
+#include "sim/annotations.hh"
 
 namespace soefair
 {
@@ -24,7 +25,7 @@ namespace cpu
 {
 
 /** Occupancy-only load queue. */
-class LoadQueue
+class SOE_THREAD_OWNED(core_lp) LoadQueue
 {
   public:
     explicit LoadQueue(unsigned capacity) : cap(capacity)
@@ -53,7 +54,7 @@ class LoadQueue
 };
 
 /** Searchable in-order store queue. */
-class StoreQueue
+class SOE_THREAD_OWNED(core_lp) StoreQueue
 {
   public:
     explicit StoreQueue(unsigned capacity) : cap(capacity)

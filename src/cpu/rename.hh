@@ -16,13 +16,14 @@
 
 #include "cpu/dyn_inst.hh"
 #include "isa/micro_op.hh"
+#include "sim/annotations.hh"
 
 namespace soefair
 {
 namespace cpu
 {
 
-class RenameTable
+class SOE_THREAD_OWNED(core_lp) RenameTable
 {
   public:
     RenameTable() { clear(); }

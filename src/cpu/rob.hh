@@ -15,13 +15,14 @@
 #include "cpu/inst_ring.hh"
 #include "sim/invariant.hh"
 #include "sim/logging.hh"
+#include "sim/annotations.hh"
 
 namespace soefair
 {
 namespace cpu
 {
 
-class Rob
+class SOE_THREAD_OWNED(core_lp) Rob
 {
   public:
     explicit Rob(unsigned capacity) : cap(capacity), entries(capacity)

@@ -19,13 +19,14 @@
 #include "sim/invariant.hh"
 #include "sim/types.hh"
 #include "stats/stats.hh"
+#include "sim/annotations.hh"
 
 namespace soefair
 {
 namespace cpu
 {
 
-class StoreBuffer
+class SOE_THREAD_OWNED(core_lp) StoreBuffer
 {
   public:
     StoreBuffer(unsigned capacity, mem::Hierarchy &hierarchy,

@@ -1,5 +1,10 @@
 #include "harness/cli_verbs.hh"
 
+#include <iostream>
+
+#include "sim/errors.hh"
+#include "sim/invariant.hh"
+
 namespace soefair
 {
 namespace harness
@@ -344,6 +349,29 @@ printCliVerbHelp(std::ostream &os, const CliVerb &verb)
                << "\n";
     }
     os << "\nexit codes: " << verb.exitCodes << "\n";
+}
+
+int
+runWithExitCodeMapping(const std::function<int()> &body)
+{
+    try {
+        return body();
+    } catch (const SimError &e) {
+        // Typed, defined failure: each class has its own exit code
+        // (10..16; see sim/errors.hh and docs/robustness.md). The
+        // message was printed when the error was raised.
+        return e.exitCode();
+    } catch (const AuditError &e) {
+        std::cerr << "audit failure: " << e.what() << "\n";
+        return 3;
+    } catch (const PanicError &) {
+        // Internal simulator bug (message already printed by
+        // panic()), not a defined failure.
+        return 3;
+    } catch (const FatalError &) {
+        // fatal() already printed the message.
+        return 1;
+    }
 }
 
 } // namespace harness

@@ -10,6 +10,7 @@
 #ifndef SOEFAIR_HARNESS_CLI_VERBS_HH
 #define SOEFAIR_HARNESS_CLI_VERBS_HH
 
+#include <functional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -46,6 +47,17 @@ void printCliHelp(std::ostream &os);
 
 /** Render one verb's full help (options + exit codes). */
 void printCliVerbHelp(std::ostream &os, const CliVerb &verb);
+
+/**
+ * Run a CLI verb body under the canonical failure-to-exit-code
+ * mapping: a thrown SimError becomes its class's exit code
+ * (10..16), FatalError becomes 1, PanicError and AuditError become
+ * 3. Every failure path of soefair_cli funnels through this one
+ * function, and tests/test_exit_codes.cc round-trips each SimError
+ * class through it — so the mapping a scripted caller observes is
+ * the mapping the tests (and soelint's ERR rules) pin down.
+ */
+int runWithExitCodeMapping(const std::function<int()> &body);
 
 } // namespace harness
 } // namespace soefair

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "sim/errors.hh"
+#include "stats/statfmt.hh"
 
 namespace soefair
 {
@@ -125,7 +126,7 @@ MachineConfig::print(std::ostream &os) const
        << " cycles (counter sampling period)\n"
        << "Cycles quota  : " << soe.maxCyclesQuota
        << " cycles max residency per thread\n"
-       << "Miss_lat      : " << soe.missLatency
+       << "Miss_lat      : " << statistics::statfmt::csv(soe.missLatency)
        << " cycles (model parameter)\n";
 }
 

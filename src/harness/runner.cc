@@ -7,6 +7,7 @@
 #include "harness/env.hh"
 #include "harness/retire_trace.hh"
 #include "sim/logging.hh"
+#include "stats/statfmt.hh"
 
 namespace soefair
 {
@@ -224,10 +225,10 @@ Runner::runSoe(const std::vector<ThreadSpec> &specs,
 std::string
 encodeStPayload(const StRunResult &r)
 {
+    using statistics::statfmt::full;
     std::ostringstream os;
-    os.precision(17);
-    os << r.ipc << ' ' << r.cycles << ' ' << r.instrs << ' '
-       << r.misses << ' ' << r.ipm << ' ' << r.cpm;
+    os << full(r.ipc) << ' ' << r.cycles << ' ' << r.instrs << ' '
+       << r.misses << ' ' << full(r.ipm) << ' ' << full(r.cpm);
     return os.str();
 }
 
@@ -250,14 +251,14 @@ decodeStPayload(const std::string &payload, StRunResult &r)
 std::string
 encodeSoePayload(const SoeRunResult &r)
 {
+    using statistics::statfmt::full;
     std::ostringstream os;
-    os.precision(17);
     os << r.threads.size();
     for (const auto &t : r.threads) {
-        os << ' ' << t.ipc << ' ' << t.instrs << ' ' << t.misses
-           << ' ' << t.runCycles;
+        os << ' ' << full(t.ipc) << ' ' << t.instrs << ' '
+           << t.misses << ' ' << t.runCycles;
     }
-    os << ' ' << r.ipcTotal << ' ' << r.cycles << ' '
+    os << ' ' << full(r.ipcTotal) << ' ' << r.cycles << ' '
        << r.switchesMiss << ' ' << r.switchesForced << ' '
        << r.switchesQuota << ' ' << (r.timedOut ? 1 : 0);
     return os.str();

@@ -8,6 +8,7 @@
 
 #include "harness/supervisor.hh"
 #include "sim/errors.hh"
+#include "stats/statfmt.hh"
 
 namespace soefair
 {
@@ -58,7 +59,8 @@ GatewayClient::backoffSleep(unsigned attempt, unsigned server_ms,
     delay = std::max(delay, double(server_ms) / 1000.0);
     ++totalRetries;
     if (cfg.progress) {
-        *cfg.progress << "[client] retry in " << delay << "s ("
+        *cfg.progress << "[client] retry in "
+                      << statistics::statfmt::csv(delay) << "s ("
                       << why << ")" << std::endl;
     }
     sleepSeconds(delay);

@@ -240,6 +240,9 @@ Gateway::spawnWorker(Campaign &c)
         } catch (...) {
             code = 3;
         }
+        // Fork-child hard exit: the child must not unwind or run
+        // the parent's atexit state.
+        // detlint: allow(ERR-001)
         _exit(code);
     }
     c.worker = pid;

@@ -22,6 +22,7 @@
 #include "harness/machine_config.hh"
 #include "harness/supervisor.hh"
 #include "sim/errors.hh"
+#include "stats/statfmt.hh"
 
 namespace soefair
 {
@@ -113,11 +114,10 @@ manifestToFields(const CampaignManifest &m)
         pairs << m.pairs[i].first << ":" << m.pairs[i].second;
     }
     std::ostringstream levels;
-    levels.precision(17);
     for (std::size_t i = 0; i < m.levels.size(); ++i) {
         if (i)
             levels << ",";
-        levels << m.levels[i];
+        levels << statistics::statfmt::full(m.levels[i]);
     }
     std::map<std::string, std::string> f;
     f["pairs"] = pairs.str();
@@ -411,6 +411,9 @@ SweepService::serve()
             if (code == 0)
                 writeAll(fds[1], payload);
             ::close(fds[1]);
+            // Fork-child hard exit: the child must not unwind or
+            // run the parent's atexit state.
+            // detlint: allow(ERR-001)
             _exit(code);
         }
 

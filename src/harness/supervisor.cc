@@ -14,6 +14,7 @@
 #include <iostream>
 
 #include "sim/errors.hh"
+#include "stats/statfmt.hh"
 
 namespace soefair
 {
@@ -225,6 +226,7 @@ SweepSupervisor::run(const std::vector<SupervisorJob> &jobs,
                 writeAll(fds[1], payload);
             ::close(fds[1]);
             // _exit, not exit: never run the parent's atexit state.
+            // detlint: allow(ERR-001)
             _exit(code);
         }
 
@@ -295,7 +297,8 @@ SweepSupervisor::run(const std::vector<SupervisorJob> &jobs,
                 *cfg.progress << "[supervisor] " << jobs[c.jobIdx].id
                               << ": transient failure (" << cls
                               << ", " << detail << "); retry in "
-                              << backoff << "s" << std::endl;
+                              << statistics::statfmt::csv(backoff)
+                              << "s" << std::endl;
             }
             Pending p;
             p.jobIdx = c.jobIdx;

@@ -11,6 +11,7 @@
 #include "sim/logging.hh"
 #include "sim/random.hh"
 #include "soe/policies.hh"
+#include "stats/statfmt.hh"
 
 namespace soefair
 {
@@ -91,8 +92,8 @@ EvaluationSweep::runPair(const std::string &bench_a,
 
     for (double f : f_levels) {
         if (progress) {
-            *progress << "  [SOE] " << pr.label() << " F=" << f
-                      << std::endl;
+            *progress << "  [SOE] " << pr.label() << " F="
+                      << statistics::statfmt::csv(f) << std::endl;
         }
         LevelResult lr;
         lr.targetF = f;
@@ -124,16 +125,19 @@ savePairResults(const std::string &path, const std::string &key,
         warn("cannot write sweep cache '", path, "'");
         return;
     }
+    using statistics::statfmt::full;
     os << key << "\n";
     os << results.size() << "\n";
-    os.precision(17);
     for (const auto &pr : results) {
-        os << pr.nameA << " " << pr.nameB << " " << pr.stA.ipc << " "
-           << pr.stB.ipc << " " << pr.levels.size() << "\n";
+        os << pr.nameA << " " << pr.nameB << " " << full(pr.stA.ipc)
+           << " " << full(pr.stB.ipc) << " " << pr.levels.size()
+           << "\n";
         for (const auto &l : pr.levels) {
-            os << l.targetF << " " << l.run.threads[0].ipc << " "
-               << l.run.threads[1].ipc << " " << l.run.ipcTotal << " "
-               << l.fairness << " " << l.speedupOverSt << " "
+            os << full(l.targetF) << " "
+               << full(l.run.threads[0].ipc) << " "
+               << full(l.run.threads[1].ipc) << " "
+               << full(l.run.ipcTotal) << " " << full(l.fairness)
+               << " " << full(l.speedupOverSt) << " "
                << l.run.cycles << " " << l.run.switchesMiss << " "
                << l.run.switchesForced << " " << l.run.switchesQuota
                << "\n";
@@ -192,19 +196,20 @@ writeCsvHeader(std::ostream &os)
     os << "pair,F,ipcST_A,ipcST_B,ipcA,ipcB,ipcTotal,fairness,"
        << "speedupOverST,cycles,switchesMiss,switchesForced,"
        << "switchesQuota\n";
-    os << std::setprecision(6);
 }
 
 void
 writeCsvRow(std::ostream &os, const PairResult &pr,
             const LevelResult &l)
 {
-    os << pr.label() << ',' << l.targetF << ',' << pr.stA.ipc << ','
-       << pr.stB.ipc << ',' << l.run.threads[0].ipc << ','
-       << l.run.threads[1].ipc << ',' << l.run.ipcTotal << ','
-       << l.fairness << ',' << l.speedupOverSt << ',' << l.run.cycles
-       << ',' << l.run.switchesMiss << ',' << l.run.switchesForced
-       << ',' << l.run.switchesQuota << "\n";
+    using statistics::statfmt::csv;
+    os << pr.label() << ',' << csv(l.targetF) << ','
+       << csv(pr.stA.ipc) << ',' << csv(pr.stB.ipc) << ','
+       << csv(l.run.threads[0].ipc) << ','
+       << csv(l.run.threads[1].ipc) << ',' << csv(l.run.ipcTotal)
+       << ',' << csv(l.fairness) << ',' << csv(l.speedupOverSt)
+       << ',' << l.run.cycles << ',' << l.run.switchesMiss << ','
+       << l.run.switchesForced << ',' << l.run.switchesQuota << "\n";
 }
 
 } // namespace
@@ -303,9 +308,7 @@ SweepCampaign::setAttemptHook(
 std::string
 SweepCampaign::levelLabel(double f)
 {
-    std::ostringstream os;
-    os << f;
-    return os.str();
+    return statistics::statfmt::csv(f);
 }
 
 std::string
@@ -355,9 +358,8 @@ SweepCampaign::journalKey() const
     for (const auto &[a, b] : pairList)
         os << a << ":" << b << "|";
     os << " levels=";
-    os.precision(17);
     for (double f : fLevels)
-        os << f << ",";
+        os << statistics::statfmt::full(f) << ",";
     return os.str();
 }
 

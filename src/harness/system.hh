@@ -32,7 +32,7 @@ namespace harness
 {
 
 /** One hardware thread's workload. */
-struct ThreadSpec
+struct SOE_THREAD_OWNED(config) ThreadSpec
 {
     workload::Profile profile SOE_THREAD_OWNED(sim);
     std::uint64_t seed SOE_THREAD_OWNED(sim) = 1;
@@ -61,7 +61,7 @@ struct ThreadSpec
     }
 };
 
-class System
+class SOE_THREAD_OWNED(supervisor) System
 {
   public:
     System(const MachineConfig &config,

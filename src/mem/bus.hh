@@ -24,7 +24,7 @@ namespace soefair
 namespace mem
 {
 
-class Bus
+class SOE_THREAD_OWNED(shared) Bus
 {
   public:
     Bus(unsigned occupancy_cycles, statistics::Group *stats_parent);

@@ -24,6 +24,7 @@
 #include "sim/event_queue.hh"
 #include "sim/invariant.hh"
 #include "stats/stats.hh"
+#include "sim/annotations.hh"
 
 namespace soefair
 {
@@ -31,7 +32,7 @@ namespace mem
 {
 
 /** Static cache geometry and timing. */
-struct CacheConfig
+struct SOE_THREAD_OWNED(config) CacheConfig
 {
     std::string name = "cache";
     std::uint64_t sizeBytes = 32 * 1024;
@@ -40,7 +41,7 @@ struct CacheConfig
     unsigned numMshrs = 8;
 };
 
-class Cache : public MemLevel
+class SOE_THREAD_OWNED(shared) Cache : public MemLevel
 {
   public:
     Cache(const CacheConfig &config, MemLevel &next_level,

@@ -30,7 +30,7 @@ namespace soefair
 namespace mem
 {
 
-struct HierarchyConfig
+struct SOE_THREAD_OWNED(config) HierarchyConfig
 {
     CacheConfig l1i SOE_THREAD_OWNED(sim){"l1i", 32 * 1024, 8, 3, 4};
     CacheConfig l1d SOE_THREAD_OWNED(sim){"l1d", 32 * 1024, 8, 3, 8};
@@ -46,7 +46,7 @@ struct HierarchyConfig
 };
 
 /** Combined outcome of a data or fetch access (TLB + caches). */
-struct HierAccessResult
+struct SOE_THREAD_OWNED(value) HierAccessResult
 {
     Tick completion SOE_THREAD_OWNED(sim) = 0;
     bool retry SOE_THREAD_OWNED(sim) = false;
@@ -64,7 +64,7 @@ struct HierAccessResult
     bool tlbWalked SOE_THREAD_OWNED(sim) = false;
 };
 
-class Hierarchy
+class SOE_THREAD_OWNED(shared) Hierarchy
 {
   public:
     Hierarchy(const HierarchyConfig &config, EventQueue &event_queue,

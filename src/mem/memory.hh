@@ -15,13 +15,14 @@
 #include "mem/bus.hh"
 #include "mem/request.hh"
 #include "stats/stats.hh"
+#include "sim/annotations.hh"
 
 namespace soefair
 {
 namespace mem
 {
 
-class Memory : public MemLevel
+class SOE_THREAD_OWNED(shared) Memory : public MemLevel
 {
   public:
     Memory(unsigned latency_cycles, Bus &front_bus,

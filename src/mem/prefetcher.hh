@@ -23,13 +23,14 @@
 
 #include "mem/request.hh"
 #include "stats/stats.hh"
+#include "sim/annotations.hh"
 
 namespace soefair
 {
 namespace mem
 {
 
-struct PrefetcherConfig
+struct SOE_THREAD_OWNED(config) PrefetcherConfig
 {
     bool enabled = false;
     unsigned tableEntries = 64;
@@ -39,7 +40,7 @@ struct PrefetcherConfig
     unsigned confidence = 2;
 };
 
-class StridePrefetcher
+class SOE_THREAD_OWNED(shared) StridePrefetcher
 {
   public:
     StridePrefetcher(const PrefetcherConfig &config,

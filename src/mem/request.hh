@@ -14,6 +14,7 @@
 #define SOEFAIR_MEM_REQUEST_HH
 
 #include "sim/types.hh"
+#include "sim/annotations.hh"
 
 namespace soefair
 {
@@ -21,7 +22,7 @@ namespace mem
 {
 
 /** One memory request presented to a level of the hierarchy. */
-struct MemReq
+struct SOE_THREAD_OWNED(value) MemReq
 {
     Addr addr = 0;
     bool isWrite = false;
@@ -42,7 +43,7 @@ struct MemReq
 };
 
 /** Outcome of presenting a MemReq. */
-struct AccessResult
+struct SOE_THREAD_OWNED(value) AccessResult
 {
     /** Data-available tick (writes: accepted/complete tick). */
     Tick completion = 0;

@@ -21,13 +21,14 @@
 
 #include "mem/request.hh"
 #include "stats/stats.hh"
+#include "sim/annotations.hh"
 
 namespace soefair
 {
 namespace mem
 {
 
-struct TlbConfig
+struct SOE_THREAD_OWNED(config) TlbConfig
 {
     std::string name = "tlb";
     unsigned entries = 64;
@@ -35,7 +36,7 @@ struct TlbConfig
     unsigned walkCycles = 10;
 };
 
-struct TlbResult
+struct SOE_THREAD_OWNED(value) TlbResult
 {
     /** Tick at which the translation is available. */
     Tick completion = 0;
@@ -45,7 +46,7 @@ struct TlbResult
     bool walkMemoryMiss = false;
 };
 
-class Tlb
+class SOE_THREAD_OWNED(core_lp) Tlb
 {
   public:
     Tlb(const TlbConfig &config, MemLevel &walk_level,

@@ -14,15 +14,31 @@
  *
  * 2. `SOE_THREAD_OWNED(domain)` — an ownership-domain tag that
  *    expands to nothing under *every* compiler. It documents which
- *    logical process a member will belong to once the engine runs on
- *    multiple OS threads (`sim` for core+memory model state stepped
- *    by System::step(), `supervisor` for the fork-based sweep
- *    driver), and it satisfies detlint rule CONC-001: in a file that
- *    opted in with the conc-optin comment directive, every mutable
- *    member must carry either a capability annotation or an
- *    ownership tag. When state becomes genuinely shared, the tag is
- *    replaced by `SOE_GUARDED_BY(lock)` and the compiler takes over
- *    enforcement from the linter.
+ *    logical process state will belong to once the engine runs on
+ *    multiple OS threads, and it is consumed by two detlint rules:
+ *
+ *    - On a *member* it satisfies CONC-001 (in a conc-optin file
+ *      every mutable member carries a capability annotation or an
+ *      ownership tag).
+ *    - On a *class head* — `class SOE_THREAD_OWNED(core_lp) Rob`
+ *      — it assigns the whole class to a PDES sharding domain.
+ *      detlint rule OWN-001 requires one on every mutable class in
+ *      src/cpu, src/mem, src/soe and harness/System, and
+ *      `--emit-ownership` compiles the tags into
+ *      build/ownership.json, the machine-readable manifest the
+ *      PDES decomposition (ROADMAP item 2) consumes.
+ *
+ *    Class-level domains (see tools/detlint/detlint.py OWN_DOMAINS):
+ *      core_lp    per-core logical process (replicated per core)
+ *      shared     bus/LLC/memory state shared across core LPs
+ *      supervisor fork-based sweep/campaign driver state
+ *      value      passive value/result type, owned by its holder
+ *      config     immutable-after-construction configuration
+ *
+ *    Nested classes inherit the enclosing class's domain unless
+ *    tagged themselves. When state becomes genuinely shared, the
+ *    tag is replaced by `SOE_GUARDED_BY(lock)` and the compiler
+ *    takes over enforcement from the linter.
  *
  * The `AnnotatedMutex` / `AnnotatedLock` wrappers below are the
  * capability-carrying lock types future shared state must use —

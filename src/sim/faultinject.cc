@@ -36,6 +36,10 @@ readFileBytes(const std::string &path)
 {
     std::ifstream is(path, std::ios::binary);
     if (!is)
+        // Harness failure, deliberately outside the SimError
+        // taxonomy: it must map to the generic fatal exit, not a
+        // provoked class.
+        // detlint: allow(ERR-001)
         throw std::runtime_error("fault harness cannot read " + path);
     return std::vector<unsigned char>(
         (std::istreambuf_iterator<char>(is)),
@@ -50,6 +54,7 @@ writeFileBytes(const std::string &path,
     os.write(reinterpret_cast<const char *>(bytes.data()),
              std::streamsize(bytes.size()));
     if (!os)
+        // detlint: allow(ERR-001)
         throw std::runtime_error("fault harness cannot write " + path);
 }
 
@@ -258,6 +263,7 @@ provokeCounterCorruption(Rng &rng, const std::string &)
     // not a SimError.
     const std::string failure = checkGuardedDegradation(rng);
     if (!failure.empty())
+        // detlint: allow(ERR-001)
         throw std::runtime_error("guarded degradation: " + failure);
 
     // Then strict mode: with guardrails disabled the same impossible
@@ -288,6 +294,7 @@ provokeStuckMiss(Rng &rng, const std::string &)
     eng.onSwitchIn(0, 0);
     eng.onRetire(0, 5);
     if (eng.onHeadStall(0, 1, 20, never, true) != 1)
+        // detlint: allow(ERR-001)
         throw std::runtime_error("stuck-miss setup: no switch to 1");
     eng.onSwitchOut(0, 20, cpu::SwitchReason::MissEvent);
     eng.onSwitchIn(1, 26);

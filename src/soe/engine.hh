@@ -28,13 +28,14 @@
 #include "soe/policies.hh"
 #include "soe/thread_context.hh"
 #include "stats/stats.hh"
+#include "sim/annotations.hh"
 
 namespace soefair
 {
 namespace soe
 {
 
-struct SoeConfig
+struct SOE_THREAD_OWNED(config) SoeConfig
 {
     /** Sampling / recalculation period (Section 3.1). */
     Tick delta = 250 * 1000;
@@ -65,7 +66,7 @@ struct SoeConfig
 };
 
 /** One delta window's worth of observable state (Figure 5 data). */
-struct SampleWindowRecord
+struct SOE_THREAD_OWNED(value) SampleWindowRecord
 {
     Tick endTick = 0;
     Tick windowCycles = 0;
@@ -93,7 +94,7 @@ struct SampleWindowRecord
     double measuredMissLat = 0.0;
 };
 
-class SoeEngine : public cpu::SwitchController
+class SOE_THREAD_OWNED(core_lp) SoeEngine : public cpu::SwitchController
 {
   public:
     SoeEngine(const SoeConfig &config, SchedulingPolicy &policy,

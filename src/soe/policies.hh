@@ -26,6 +26,7 @@
 #include "core/enforcer.hh"
 #include "core/estimator.hh"
 #include "sim/types.hh"
+#include "sim/annotations.hh"
 
 namespace soefair
 {
@@ -88,7 +89,7 @@ class MissOnlyPolicy : public SchedulingPolicy
 };
 
 /** The paper's fairness enforcement mechanism. */
-class FairnessPolicy : public SchedulingPolicy
+class SOE_THREAD_OWNED(core_lp) FairnessPolicy : public SchedulingPolicy
 {
   public:
     /**
@@ -133,7 +134,7 @@ class FairnessPolicy : public SchedulingPolicy
 };
 
 /** Section 6 strawman: pure time sharing, no miss switching. */
-class TimeSharePolicy : public SchedulingPolicy
+class SOE_THREAD_OWNED(core_lp) TimeSharePolicy : public SchedulingPolicy
 {
   public:
     explicit TimeSharePolicy(Tick cycle_quota) : quota(cycle_quota) {}
@@ -155,7 +156,7 @@ class TimeSharePolicy : public SchedulingPolicy
 };
 
 /** Fixed instruction quota on top of miss switching (ablation). */
-class FixedQuotaPolicy : public SchedulingPolicy
+class SOE_THREAD_OWNED(core_lp) FixedQuotaPolicy : public SchedulingPolicy
 {
   public:
     explicit FixedQuotaPolicy(double ipsw) : ipswQuota(ipsw) {}

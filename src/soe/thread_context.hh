@@ -16,13 +16,14 @@
 #include "core/deficit.hh"
 #include "core/estimator.hh"
 #include "sim/types.hh"
+#include "sim/annotations.hh"
 
 namespace soefair
 {
 namespace soe
 {
 
-struct ThreadContext
+struct SOE_THREAD_OWNED(core_lp) ThreadContext
 {
     ThreadID tid = 0;
 

@@ -1,0 +1,49 @@
+#include "stats/statfmt.hh"
+
+#include <cstdio>
+
+namespace soefair
+{
+namespace statistics
+{
+namespace statfmt
+{
+
+namespace
+{
+
+std::string
+format(const char *spec, double v)
+{
+    // snprintf with the C global locale (never changed; DET-001
+    // bans setlocale) and an explicit %g spec reproduces exactly
+    // what `os << v` printed at the same precision, with no
+    // dependence on stream state.
+    char buf[64];
+    const int n = std::snprintf(buf, sizeof(buf), spec, v);
+    return std::string(buf, n > 0 ? static_cast<size_t>(n) : 0);
+}
+
+} // namespace
+
+std::string
+full(double v)
+{
+    return format("%.17g", v);
+}
+
+std::string
+csv(double v)
+{
+    return format("%.6g", v);
+}
+
+std::string
+stat(double v)
+{
+    return csv(v);
+}
+
+} // namespace statfmt
+} // namespace statistics
+} // namespace soefair

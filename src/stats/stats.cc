@@ -4,6 +4,7 @@
 #include <iomanip>
 
 #include "sim/logging.hh"
+#include "stats/statfmt.hh"
 
 namespace soefair
 {
@@ -25,7 +26,7 @@ emitLine(std::ostream &os, const std::string &prefix,
          const std::string &name, double value, const std::string &desc)
 {
     os << std::left << std::setw(44) << (prefix + name) << " "
-       << std::right << std::setw(14) << value
+       << std::right << std::setw(14) << statfmt::stat(value)
        << "  # " << desc << "\n";
 }
 

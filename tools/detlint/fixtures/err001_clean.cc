@@ -1,0 +1,38 @@
+// Clean twin of err001_bad.cc: failures land in the SimError
+// taxonomy, rethrows stay bare, member functions may be named
+// terminate(), and the one sanctioned hard exit carries a
+// justified allow-directive.
+#include <unistd.h>
+
+#include "sim/errors.hh"
+
+namespace soefair
+{
+
+int
+checkedDivide(int num, int den)
+{
+    if (den == 0)
+        raiseError<InputError>("division by zero");
+    try {
+        return num / den;
+    } catch (...) {
+        throw; // bare rethrow keeps the original taxonomy entry
+    }
+}
+
+void
+stopWorker(Worker &w)
+{
+    w.terminate(); // member call, not std::terminate
+}
+
+void
+forkChildEpilogue(int code)
+{
+    // Fork-child hard exit: must not unwind parent state.
+    // detlint: allow(ERR-001)
+    _exit(code);
+}
+
+} // namespace soefair

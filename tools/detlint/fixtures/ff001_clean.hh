@@ -1,0 +1,31 @@
+// Clean twin of ff001_bad.hh: the ticking component publishes its
+// wake horizon, so fast-forward can jump quiescent spans safely.
+#ifndef DETLINT_FIXTURE_FF001_CLEAN_HH
+#define DETLINT_FIXTURE_FF001_CLEAN_HH
+
+#include "sim/annotations.hh"
+#include "sim/types.hh"
+
+namespace soefair
+{
+
+class SOE_THREAD_OWNED(core_lp) DripCounter
+{
+  public:
+    void tick(Tick now);
+
+    /** Earliest tick at which tick() must run again. */
+    Tick nextWakeTick() const;
+
+  private:
+    Tick drips = 0;
+};
+
+struct SOE_THREAD_OWNED(value) DripSnapshot
+{
+    Tick total = 0;
+};
+
+} // namespace soefair
+
+#endif // DETLINT_FIXTURE_FF001_CLEAN_HH

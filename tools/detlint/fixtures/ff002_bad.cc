@@ -1,0 +1,32 @@
+// FF-002 fixture: ff002_clean.cc with fullStallCycles's bulk-credit
+// line deleted — exactly the edit the rule exists to catch. A
+// per-cycle stall counter that the creditSkippedCycles() path does
+// not replay diverges the moment fast-forward jumps a quiescent
+// span, breaking stats byte-identity.
+#include "cpu/ff002_widget.hh"
+
+namespace soefair
+{
+namespace cpu
+{
+
+void
+Widget::tick(Tick now)
+{
+    if (portBusy)
+        ++portStallCycles;
+    if (bufferFull)
+        fullStallCycles += 1; // BAD: never bulk-credited
+    lastTick = now;
+}
+
+void
+Widget::creditSkippedCycles(Tick now, Tick skipped)
+{
+    if (portBusy)
+        portStallCycles += skipped;
+    lastTick = now;
+}
+
+} // namespace cpu
+} // namespace soefair

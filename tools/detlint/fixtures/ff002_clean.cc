@@ -1,0 +1,33 @@
+// Clean twin of ff002_bad.cc: every per-cycle stall counter that is
+// incremented on the tick path also appears in the
+// creditSkippedCycles() bulk-credit path, so fast-forwarded stats
+// stay byte-identical to the ticked run.
+#include "cpu/ff002_widget.hh"
+
+namespace soefair
+{
+namespace cpu
+{
+
+void
+Widget::tick(Tick now)
+{
+    if (portBusy)
+        ++portStallCycles;
+    if (bufferFull)
+        fullStallCycles += 1;
+    lastTick = now;
+}
+
+void
+Widget::creditSkippedCycles(Tick now, Tick skipped)
+{
+    if (portBusy)
+        portStallCycles += skipped;
+    if (bufferFull)
+        fullStallCycles += skipped;
+    lastTick = now;
+}
+
+} // namespace cpu
+} // namespace soefair

@@ -1,0 +1,28 @@
+// OWN-001 fixture: mutable classes the PDES ownership manifest
+// cannot place — one with no SOE_THREAD_OWNED tag at all, one with
+// a domain outside the sharding vocabulary.
+#ifndef DETLINT_FIXTURE_OWN001_BAD_HH
+#define DETLINT_FIXTURE_OWN001_BAD_HH
+
+#include "sim/annotations.hh"
+
+namespace soefair
+{
+
+struct MshrLedger // BAD: mutable class without a sharding domain
+{
+    int inflight = 0;
+};
+
+class SOE_THREAD_OWNED(banana) LedgerIndex // BAD: unknown domain
+{
+  public:
+    int slot() const { return idx; }
+
+  private:
+    int idx = 0;
+};
+
+} // namespace soefair
+
+#endif // DETLINT_FIXTURE_OWN001_BAD_HH

@@ -1,0 +1,39 @@
+// Clean twin of own001_bad.hh: tagged classes, a nested class that
+// inherits its enclosing domain, and an immutable class that needs
+// no tag.
+#ifndef DETLINT_FIXTURE_OWN001_CLEAN_HH
+#define DETLINT_FIXTURE_OWN001_CLEAN_HH
+
+#include "sim/annotations.hh"
+
+namespace soefair
+{
+
+struct SOE_THREAD_OWNED(shared) MshrLedger
+{
+    int inflight = 0;
+
+    struct Waiter // nested: inherits 'shared' from MshrLedger
+    {
+        int slot = 0;
+    };
+};
+
+class SOE_THREAD_OWNED(core_lp) LedgerIndex
+{
+  public:
+    int slot() const { return idx; }
+
+  private:
+    int idx = 0;
+};
+
+struct LedgerLimits
+{
+    // const-only members: not a mutable class, no tag required
+    const int capacity = 8;
+};
+
+} // namespace soefair
+
+#endif // DETLINT_FIXTURE_OWN001_CLEAN_HH

@@ -1,0 +1,19 @@
+// OWN-002 fixture: the `todo` placeholder that `--fix` writes. It
+// keeps OWN-001 quiet so the autofix is mechanical, but the
+// manifest gate stays red until a human assigns a real domain.
+#ifndef DETLINT_FIXTURE_OWN002_BAD_HH
+#define DETLINT_FIXTURE_OWN002_BAD_HH
+
+#include "sim/annotations.hh"
+
+namespace soefair
+{
+
+struct SOE_THREAD_OWNED(todo) EvictionScratch // BAD: placeholder
+{
+    int victimWay = -1;
+};
+
+} // namespace soefair
+
+#endif // DETLINT_FIXTURE_OWN002_BAD_HH

@@ -1,0 +1,18 @@
+// Clean twin of own002_bad.hh: the placeholder replaced by a real
+// sharding domain.
+#ifndef DETLINT_FIXTURE_OWN002_CLEAN_HH
+#define DETLINT_FIXTURE_OWN002_CLEAN_HH
+
+#include "sim/annotations.hh"
+
+namespace soefair
+{
+
+struct SOE_THREAD_OWNED(shared) EvictionScratch
+{
+    int victimWay = -1;
+};
+
+} // namespace soefair
+
+#endif // DETLINT_FIXTURE_OWN002_CLEAN_HH

@@ -1,0 +1,26 @@
+// Raw-string-literal regression fixture: everything inside the
+// R"(...)" literals must be ignored by every text rule, while the
+// real violation after them is still found at the correct line.
+#include <cstdlib>
+#include <string>
+
+namespace soefair
+{
+
+const char *kHelpText = R"(Usage hints that merely *mention* calls:
+    exit(1); abort(); throw std::runtime_error("boom");
+    setlocale(LC_ALL, ""); getenv("HOME"); srand(42);
+unterminated " quote and a )-paren do not end the literal)";
+
+const char *kDelimited = R"dl(a raw string with )" inside)dl";
+
+int
+helpAndFail(bool show)
+{
+    std::string s = kHelpText;
+    if (show)
+        exit(3); // BAD: real naked exit after the raw strings
+    return int(s.size());
+}
+
+} // namespace soefair

@@ -1,0 +1,21 @@
+// Clean twin of rawstring_bad.cc: only the raw strings, no real
+// violation — the stripper must produce zero findings.
+#include <string>
+
+namespace soefair
+{
+
+const char *kHelpText = R"(Usage hints that merely *mention* calls:
+    exit(1); abort(); throw std::runtime_error("boom");
+    setlocale(LC_ALL, ""); getenv("HOME"); srand(42);
+unterminated " quote and a )-paren do not end the literal)";
+
+const char *kDelimited = R"dl(a raw string with )" inside)dl";
+
+std::size_t
+helpLength()
+{
+    return std::string(kHelpText).size();
+}
+
+} // namespace soefair

@@ -1,0 +1,19 @@
+// STAT-001 fixture: floating point fed to payload/CSV output
+// without the statfmt codec. Each site's byte format silently
+// depends on ambient stream state.
+#include <iomanip>
+#include <ostream>
+
+namespace soefair
+{
+
+void
+writeRow(std::ostream &os, double ipc, long cycles)
+{
+    os << std::setprecision(9); // BAD: ad-hoc precision
+    os << "ipc=" << ipc << "\n"; // BAD: raw double streamed
+    os << "share=" << 0.5 << "\n"; // BAD: float literal streamed
+    os << "cycles=" << cycles << "\n";
+}
+
+} // namespace soefair

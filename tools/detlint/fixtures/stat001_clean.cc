@@ -1,0 +1,19 @@
+// Clean twin of stat001_bad.cc: every double goes through the
+// statfmt codec, so the emitted bytes are pinned at the call site
+// regardless of stream state.
+#include <ostream>
+
+#include "stats/statfmt.hh"
+
+namespace soefair
+{
+
+void
+writeRow(std::ostream &os, double ipc, long cycles)
+{
+    os << "ipc=" << statistics::statfmt::csv(ipc) << "\n";
+    os << "share=" << statistics::statfmt::csv(0.5) << "\n";
+    os << "cycles=" << cycles << "\n";
+}
+
+} // namespace soefair

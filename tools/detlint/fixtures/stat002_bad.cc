@@ -1,0 +1,16 @@
+// STAT-002 fixture: the same (parent, name) pair registered twice.
+// The stats tree would either reject the duplicate at runtime or
+// dump two rows under one ambiguous name.
+#include "stats/stats.hh"
+
+namespace soefair
+{
+
+CacheStats::CacheStats(Group &parent)
+    : hits(&parent, "hits", "demand hits"),
+      misses(&parent, "misses", "demand misses"),
+      fills(&parent, "hits", "aliases an existing name") // BAD
+{
+}
+
+} // namespace soefair

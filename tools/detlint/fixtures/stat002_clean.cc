@@ -1,0 +1,16 @@
+// Clean twin of stat002_bad.cc: every counter registered exactly
+// once; reusing a name under a *different* parent group is fine.
+#include "stats/stats.hh"
+
+namespace soefair
+{
+
+CacheStats::CacheStats(Group &parent, Group &other)
+    : hits(&parent, "hits", "demand hits"),
+      misses(&parent, "misses", "demand misses"),
+      fills(&parent, "fills", "linefill count"),
+      otherHits(&other, "hits", "same name, different group")
+{
+}
+
+} // namespace soefair

@@ -1,0 +1,33 @@
+// ERR-003 tree fixture (bad): cli_verbs_clean.cc after two doc rots
+// — 'drain' lost its "22 admission control rejected" entry (the
+// deleted-doc-entry demo) and 'ghost' documents an exit code that
+// maps to nothing in the taxonomy.
+#include "harness/cli_verbs.hh"
+
+namespace soefair
+{
+namespace harness
+{
+
+namespace
+{
+const char *exitBasic = "0 ok; 2 usage; 1 fatal; 3 internal panic";
+}
+
+std::vector<Verb>
+buildVerbs()
+{
+    std::vector<Verb> verbs;
+    verbs.push_back({"run", "run <n>", "Run the model.", "",
+                     "0 ok; 2 usage; 10 bad input"});
+    verbs.push_back({"probe", "probe", "Probe the queue.", "",
+                     exitBasic});
+    verbs.push_back({"drain", "drain <dir>", "Drain the queue.", "",
+                     "0 ok; 2 usage"}); // BAD: omits reachable 22
+    verbs.push_back({"ghost", "ghost", "Vestigial verb.", "",
+                     "0 ok; 42 from nowhere"}); // BAD: 42 unknown
+    return verbs;
+}
+
+} // namespace harness
+} // namespace soefair

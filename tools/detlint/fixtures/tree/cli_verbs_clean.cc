@@ -1,0 +1,30 @@
+// ERR-003 tree fixture (clean): a miniature cli_verbs.cc registry
+// whose documented exit codes exactly cover what each verb's
+// implementation (cli_main_clean.cc) can statically produce.
+#include "harness/cli_verbs.hh"
+
+namespace soefair
+{
+namespace harness
+{
+
+namespace
+{
+const char *exitBasic = "0 ok; 2 usage; 1 fatal; 3 internal panic";
+}
+
+std::vector<Verb>
+buildVerbs()
+{
+    std::vector<Verb> verbs;
+    verbs.push_back({"run", "run <n>", "Run the model.", "",
+                     "0 ok; 2 usage; 10 bad input"});
+    verbs.push_back({"probe", "probe", "Probe the queue.", "",
+                     exitBasic});
+    verbs.push_back({"drain", "drain <dir>", "Drain the queue.", "",
+                     "0 ok; 2 usage; 22 admission control rejected"});
+    return verbs;
+}
+
+} // namespace harness
+} // namespace soefair

@@ -1,0 +1,46 @@
+// ERR-002 tree fixture (bad): errors_clean.hh plus two classes the
+// taxonomy never wired up — one that errors_clean.cc does not map,
+// and one that declares no exit code at all.
+#ifndef DETLINT_FIXTURE_TREE_ERRORS_HH
+#define DETLINT_FIXTURE_TREE_ERRORS_HH
+
+namespace soefair
+{
+
+class SimError
+{
+  public:
+    virtual ~SimError() = default;
+    int exitCode() const;
+};
+
+class InputError : public SimError
+{
+  public:
+    static constexpr int code = 10;
+};
+
+class QuotaError : public SimError
+{
+  public:
+    static constexpr int code = 15;
+};
+
+class OrphanError : public SimError // BAD: unmapped in errors.cc
+{
+  public:
+    static constexpr int code = 19;
+};
+
+class CodelessError : public SimError // BAD: no exit code declared
+{
+  public:
+    int payload = 0;
+};
+
+template <typename E, typename... Args>
+[[noreturn]] void raiseError(Args &&...args);
+
+} // namespace soefair
+
+#endif // DETLINT_FIXTURE_TREE_ERRORS_HH

@@ -1,0 +1,29 @@
+// ERR-002 tree fixture: the errors.cc side of the taxonomy. Maps
+// InputError and QuotaError (complete for errors_clean.hh; leaves
+// errors_bad.hh's OrphanError unmapped).
+#include "sim/errors.hh"
+
+namespace soefair
+{
+
+int
+SimError::exitCode() const
+{
+    if (isInput())
+        return InputError::code;
+    return QuotaError::code;
+}
+
+const char *
+simErrorKindNameForExit(int code)
+{
+    switch (code) {
+      case InputError::code:
+        return "input";
+      case QuotaError::code:
+        return "quota";
+    }
+    return "unknown";
+}
+
+} // namespace soefair

@@ -1,0 +1,34 @@
+// ERR-002 tree fixture (clean): a miniature src/sim/errors.hh whose
+// every SimError class carries a code and is fully mapped by
+// errors_clean.cc.
+#ifndef DETLINT_FIXTURE_TREE_ERRORS_HH
+#define DETLINT_FIXTURE_TREE_ERRORS_HH
+
+namespace soefair
+{
+
+class SimError
+{
+  public:
+    virtual ~SimError() = default;
+    int exitCode() const;
+};
+
+class InputError : public SimError
+{
+  public:
+    static constexpr int code = 10;
+};
+
+class QuotaError : public SimError
+{
+  public:
+    static constexpr int code = 15;
+};
+
+template <typename E, typename... Args>
+[[noreturn]] void raiseError(Args &&...args);
+
+} // namespace soefair
+
+#endif // DETLINT_FIXTURE_TREE_ERRORS_HH

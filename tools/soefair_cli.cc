@@ -948,7 +948,11 @@ main(int argc, char **argv)
     if (opts.positional().empty())
         return usage();
 
-    try {
+    // The failure-to-exit-code mapping lives in one shared place
+    // (harness::runWithExitCodeMapping) so tests can round-trip
+    // every SimError class through exactly the code path a
+    // scripted caller observes.
+    return harness::runWithExitCodeMapping([&]() -> int {
         const std::string &cmd = opts.positional()[0];
         if (cmd == "help") {
             if (opts.positional().size() > 1) {
@@ -997,20 +1001,5 @@ main(int argc, char **argv)
             return cmdFaults(opts);
         std::cerr << "unknown command '" << cmd << "'\n";
         return usage();
-    } catch (const SimError &e) {
-        // Typed, defined failure: each class has its own exit code
-        // (10..16; see sim/errors.hh and docs/robustness.md). The
-        // message was printed when the error was raised.
-        return e.exitCode();
-    } catch (const FatalError &e) {
-        // fatal() already printed the message.
-        return 1;
-    } catch (const PanicError &) {
-        // Internal simulator bug (message already printed by
-        // panic()), not a defined failure.
-        return 3;
-    } catch (const AuditError &e) {
-        std::cerr << "audit failure: " << e.what() << "\n";
-        return 3;
-    }
+    });
 }
