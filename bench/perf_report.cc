@@ -13,21 +13,31 @@
  *   --out FILE  output path (default BENCH_perf.json).
  *
  * Raw items/sec values are only comparable on the same machine and
- * build type; the derived `ff_speedup_miss_heavy` ratio (fast-forward
- * on vs off on the serial pointer-chase scenario) is
- * machine-independent and is the number the ≥5x acceptance gate
- * checks.
+ * build type; the derived ratios are machine-independent and carry
+ * the acceptance gates:
+ *
+ *  - `ff_speedup_miss_heavy` (fast-forward on vs off on the serial
+ *    pointer-chase scenario), gated >= 5x;
+ *  - `thread_speedup_short_jobs` (in-process thread-pool drain vs
+ *    fork-per-job drain of the same short-job sweep campaign, cold
+ *    caches, same parallelism), gated >= 3x via
+ *    bench_compare.py --min-thread-speedup.
  */
 
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "harness/service/service.hh"
 #include "perf_scenarios.hh"
 #include "stats/statfmt.hh"
 
@@ -103,9 +113,66 @@ auditsEnabled()
     return SOEFAIR_AUDIT_ENABLED != 0;
 }
 
+/**
+ * Drain one short-job sweep campaign (16 jobs, tiny instruction
+ * windows: dispatch overhead dominates simulation work) and return
+ * jobs completed per second. threads == 0 is the fork-per-job
+ * executor with `par` slots; threads == par is the in-process pool.
+ * Cold queue + no result cache, so the two modes run identical
+ * simulation work and differ only in executor overhead.
+ */
+double
+sweepJobsPerSec(unsigned threads, unsigned par)
+{
+    namespace svc = harness::service;
+    svc::CampaignManifest m;
+    // 8 distinct benchmarks -> 8 single-thread jobs + 4 SOE cells.
+    // F=0.5 (fairness-enforced) cells only: the F=0 miss-only cell
+    // simulates orders of magnitude more cycles at the same
+    // instruction count and would swamp executor overhead.
+    m.pairs = {{"gcc", "eon"},
+               {"mcf", "crafty"},
+               {"swim", "vortex"},
+               {"bzip2", "wupwise"}};
+    m.levels = {0.5};
+    harness::RunConfig rc;
+    rc.warmupInstrs = 200;
+    rc.timingWarmInstrs = 50;
+    rc.measureInstrs = 200;
+    m.rc = rc;
+
+    const std::string root = "/tmp/soefair_perf_sweep_" +
+                             std::to_string(::getpid()) +
+                             (threads > 0 ? "_thr" : "_fork");
+    std::filesystem::remove_all(root);
+    svc::ServiceConfig cfg;
+    cfg.queueDir = root;
+    cfg.workerName = "perf";
+    cfg.deadlineSeconds = 120.0;
+    cfg.leaseSeconds = 120.0;
+    cfg.slots = par;
+    cfg.threads = threads;
+
+    double secs = 0.0;
+    unsigned completed = 0;
+    {
+        svc::SweepService service(cfg);
+        service.enqueueCampaign(m);
+        const auto t0 = std::chrono::steady_clock::now();
+        const svc::WorkerStats ws = service.serve();
+        secs = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+        completed = ws.completed;
+    }
+    std::filesystem::remove_all(root);
+    return secs > 0.0 ? double(completed) / secs : 0.0;
+}
+
 void
 writeReport(std::ostream &os, const std::vector<NamedResult> &results,
-            double ff_speedup, std::uint64_t items)
+            double ff_speedup, double fork_jps, double thr_jps,
+            double thread_speedup, std::uint64_t items)
 {
     os << "{\n";
     os << "  \"schema\": 1,\n";
@@ -130,12 +197,23 @@ writeReport(std::ostream &os, const std::vector<NamedResult> &results,
            << statistics::statfmt::csv(n.r.seconds)
            << ", \"skipped_frac\": "
            << statistics::statfmt::csv(n.r.skippedFrac)
-           << " }" << (i + 1 < results.size() ? "," : "") << "\n";
+           << " },\n";
     }
+    // The sweep-executor scenarios count jobs, not instructions;
+    // they still ride the same items_per_sec regression check.
+    os << "    { \"name\": \"jobs_per_sec_short_fork\", "
+       << "\"items_per_sec\": "
+       << statistics::statfmt::csv(fork_jps) << " },\n";
+    os << "    { \"name\": \"jobs_per_sec_short_threaded\", "
+       << "\"items_per_sec\": "
+       << statistics::statfmt::csv(thr_jps) << " }\n";
     os << "  ],\n";
-    os << "  \"derived\": { \"ff_speedup_miss_heavy\": "
-       << statistics::statfmt::csv(ff_speedup)
-       << " }\n";
+    os << "  \"derived\": {\n";
+    os << "    \"ff_speedup_miss_heavy\": "
+       << statistics::statfmt::csv(ff_speedup) << ",\n";
+    os << "    \"thread_speedup_short_jobs\": "
+       << statistics::statfmt::csv(thread_speedup) << "\n";
+    os << "  }\n";
     os << "}\n";
 }
 
@@ -187,13 +265,26 @@ main(int argc, char **argv)
     const double speedup = off.instrsPerSec > 0.0
         ? on.instrsPerSec / off.instrsPerSec : 0.0;
 
+    // Sweep-executor comparison: same campaign, same parallelism,
+    // fork-per-job vs in-process thread pool.
+    unsigned par = std::thread::hardware_concurrency();
+    if (par < 1)
+        par = 1;
+    if (par > 8)
+        par = 8;
+    const double forkJps = sweepJobsPerSec(0, par);
+    const double thrJps = sweepJobsPerSec(par, par);
+    const double threadSpeedup =
+        forkJps > 0.0 ? thrJps / forkJps : 0.0;
+
     std::ofstream out(outPath);
     if (!out) {
         std::cerr << "perf_report: cannot open " << outPath
                   << std::endl;
         return 1;
     }
-    writeReport(out, results, speedup, items);
+    writeReport(out, results, speedup, forkJps, thrJps,
+                threadSpeedup, items);
 
     for (const NamedResult &n : results) {
         std::cout << n.name << ": "
@@ -202,6 +293,11 @@ main(int argc, char **argv)
                   << std::uint64_t(n.r.skippedFrac * 100.0) << "%)"
                   << std::endl;
     }
+    std::cout << "jobs_per_sec_short: fork "
+              << statistics::statfmt::csv(forkJps) << ", threaded "
+              << statistics::statfmt::csv(thrJps) << " ("
+              << statistics::statfmt::csv(threadSpeedup) << "x)"
+              << std::endl;
     std::cout << "ff_speedup_miss_heavy: "
               << statistics::statfmt::csv(speedup) << "x -> "
               << outPath << std::endl;

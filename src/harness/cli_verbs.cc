@@ -44,6 +44,9 @@ supervisorOptions()
 {
     return {
         {"--jobs N", "parallel forked job slots (default 1)"},
+        {"--threads N",
+         "in-process worker threads (default 0 = fork only); first "
+         "attempts run in-process, retries escalate to fork"},
         {"--deadline S",
          "per-attempt wall-clock deadline in seconds (default 600)"},
         {"--retries N",
@@ -168,6 +171,9 @@ buildVerbs()
         {"--lease S", "lease duration in seconds (default 60)"},
         {"--heartbeat S", "lease renewal interval (default lease/3)"},
         {"--poll S", "idle poll interval (default 0.5)"},
+        {"--batch K",
+         "jobs claimed per flock round by each worker thread "
+         "(default 4; only with --threads)"},
     };
 
     verbs.push_back(

@@ -21,7 +21,9 @@
 #include "harness/jsonl.hh"
 #include "harness/machine_config.hh"
 #include "harness/supervisor.hh"
+#include "harness/worker_pool.hh"
 #include "sim/errors.hh"
+#include "sim/logging.hh"
 #include "stats/statfmt.hh"
 
 namespace soefair
@@ -314,11 +316,11 @@ SweepService::enqueueCampaign(const CampaignManifest &m)
         }
     }
     if (cfg.progress) {
-        *cfg.progress << "[service] enqueued " << stats.added
-                      << " job(s) (" << stats.duplicates
-                      << " already queued, " << stats.rejected
-                      << " rejected) into " << cfg.queueDir
-                      << std::endl;
+        std::ostringstream os;
+        os << "[service] enqueued " << stats.added << " job(s) ("
+           << stats.duplicates << " already queued, "
+           << stats.rejected << " rejected) into " << cfg.queueDir;
+        logging::printLine(*cfg.progress, os.str());
     }
     return stats;
 }
@@ -353,13 +355,46 @@ SweepService::serve()
 
     auto progress = [&](const std::string &msg) {
         if (cfg.progress) {
-            *cfg.progress << "[service:" << cfg.workerName << "] "
-                          << msg << std::endl;
+            logging::printLine(*cfg.progress,
+                               "[service:" + cfg.workerName + "] " +
+                                   msg);
         }
     };
     auto stopRequested = [&] {
         return cfg.stopFlag && *cfg.stopFlag != 0;
     };
+
+    if (cfg.threads > 0) {
+        // Phase A: the in-process thread pool drains every pristine
+        // job. Retries (and jobs whose leases were reclaimed) are
+        // left pending and handled by the fork loop below — the
+        // escalation-to-fork policy that keeps crash isolation for
+        // anything that already failed once.
+        WorkerPoolConfig pc;
+        pc.queueDir = cfg.queueDir;
+        pc.queueKey = key;
+        pc.queue = qcfg;
+        pc.cacheDir = cfg.cacheDir;
+        pc.workerName = cfg.workerName;
+        pc.threads = cfg.threads;
+        pc.batch = cfg.batch;
+        pc.leaseSeconds = cfg.leaseSeconds;
+        pc.heartbeatSeconds = cfg.heartbeatSeconds;
+        pc.progress = cfg.progress;
+        pc.stopFlag = cfg.stopFlag;
+        WorkerPool pool(pc, bodies);
+        const WorkerPoolStats ps = pool.drain();
+        stats.completed += ps.completed;
+        stats.fromCache += ps.fromCache;
+        stats.failed += ps.failed;
+        stats.leasesLost += ps.leasesLost;
+        stats.cache = ps.cache;
+        if (ps.stopped) {
+            stats.stopped = true;
+            progress("stopping on request (graceful shutdown)");
+            return stats;
+        }
+    }
 
     auto launch = [&](const LeaseClaim &claim) {
         auto it = bodies.find(claim.job.id);
@@ -609,23 +644,28 @@ SweepService::serve()
             sleepMs(20);
     }
 
-    if (cache.isOpen())
-        stats.cache = cache.stats();
+    if (cache.isOpen()) {
+        // Fold the fork phase's cache stats on top of the pool
+        // phase's (stats.cache already carries the pool's).
+        const ResultCache::Stats cs = cache.stats();
+        stats.cache.hits += cs.hits;
+        stats.cache.misses += cs.misses;
+        stats.cache.stores += cs.stores;
+        stats.cache.corruptEvictions += cs.corruptEvictions;
+    }
     if (cfg.progress) {
-        *cfg.progress << "[service:" << cfg.workerName << "] "
-                      << (stats.stopped ? "stopped" : "drained")
-                      << ": " << stats.completed << " completed ("
-                      << stats.fromCache << " from cache), "
-                      << stats.failed << " failed, "
-                      << stats.leasesLost << " lease(s) lost";
+        std::ostringstream os;
+        os << "[service:" << cfg.workerName << "] "
+           << (stats.stopped ? "stopped" : "drained") << ": "
+           << stats.completed << " completed (" << stats.fromCache
+           << " from cache), " << stats.failed << " failed, "
+           << stats.leasesLost << " lease(s) lost";
         if (cache.isOpen()) {
-            *cfg.progress << "; cache " << stats.cache.hits
-                          << " hit(s) / " << stats.cache.misses
-                          << " miss(es) / "
-                          << stats.cache.corruptEvictions
-                          << " evicted";
+            os << "; cache " << stats.cache.hits << " hit(s) / "
+               << stats.cache.misses << " miss(es) / "
+               << stats.cache.corruptEvictions << " evicted";
         }
-        *cfg.progress << std::endl;
+        logging::printLine(*cfg.progress, os.str());
     }
     return stats;
 }

@@ -74,6 +74,16 @@ struct SupervisorConfig
     double backoffBaseSeconds SOE_THREAD_OWNED(supervisor) = 0.25;
     /** Concurrent forked children (the `--jobs N` slots). */
     unsigned jobSlots SOE_THREAD_OWNED(supervisor) = 1;
+    /**
+     * In-process worker threads (`--threads N`; 0 disables). With
+     * threads > 0, every *first* attempt runs in-process on a
+     * thread pool — no fork, no pipe — and only retries of
+     * transient failures fall back to the crash-isolated fork loop
+     * (the same escalation-to-fork policy the sweep service's
+     * WorkerPool applies). Outcomes are byte-identical to fork mode
+     * by the determinism contract.
+     */
+    unsigned threads SOE_THREAD_OWNED(supervisor) = 0;
     /** Optional stream for per-job progress lines. */
     std::ostream *progress SOE_THREAD_OWNED(supervisor) = nullptr;
 };
@@ -118,6 +128,15 @@ class SweepSupervisor
      * "" for success. Exposed for tests.
      */
     static std::string classifyStatus(int status, bool deadline_kill);
+
+    /**
+     * Classify a plain exit code ("" for 0). classifyStatus routes
+     * exited children through this; the in-process thread-pool
+     * executors map caught exceptions to the taxonomy's exit code
+     * and classify with the same function, so an in-thread failure
+     * and a forked one land in the identical class.
+     */
+    static std::string classifyExitCode(int code);
 
     /** Whether a failure class is worth retrying. */
     static bool isTransient(const std::string &fail_class);

@@ -10,7 +10,11 @@ namespace sim
 namespace
 {
 
-std::uint64_t violationCount = 0;
+// Per-thread, not process-global: worker threads (in-process sweep
+// executor) each run their own Systems, and a shared counter would
+// put a data race on the job path. Each thread observes only its
+// own violations — the same view a forked job child had.
+thread_local std::uint64_t violationCount = 0;
 
 } // namespace
 
@@ -35,7 +39,10 @@ auditFail(const char *cond, const char *file, int line,
 InvariantAuditor &
 InvariantAuditor::global()
 {
-    static InvariantAuditor instance;
+    // One registry per thread: a System constructed on a worker
+    // thread registers its sweeps here and runs them here, so
+    // concurrent jobs never share (or race on) the check vector.
+    thread_local InvariantAuditor instance;
     return instance;
 }
 

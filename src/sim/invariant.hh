@@ -70,12 +70,17 @@ auditsEnabled()
     return SOEFAIR_AUDIT_ENABLED != 0;
 }
 
-/** Process-wide count of audit failures (survives caught throws). */
+/** Per-thread count of audit failures (survives caught throws).
+ *  Thread-local so concurrent in-process sweep jobs never race on
+ *  it; each thread sees the same view a forked job child had. */
 std::uint64_t auditViolations();
 
 /**
- * Registry of module-level audit sweeps. One global instance; see
- * the file comment for the registration/run protocol.
+ * Registry of module-level audit sweeps. One instance per thread
+ * (global() is thread-local): a System built on a worker thread
+ * registers and runs its sweeps entirely on that thread, which is
+ * what keeps the audit path free of mutable shared state. See the
+ * file comment for the registration/run protocol.
  */
 class InvariantAuditor
 {

@@ -43,6 +43,15 @@ extern bool verbose;
 
 void printMessage(const char *prefix, const std::string &msg);
 
+/**
+ * Write one complete line to `os` under the same process-wide sink
+ * mutex printMessage() holds, then flush. Harness progress lines go
+ * through this so concurrent worker threads (`--threads N`) can
+ * never interleave output mid-line — every message, warn() and
+ * progress line is one atomic write against the shared sink.
+ */
+void printLine(std::ostream &os, const std::string &line);
+
 template <typename... Args>
 std::string
 formatMessage(Args &&...args)

@@ -12,6 +12,7 @@
 
 #include <signal.h>
 #include <time.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <sstream>
@@ -172,6 +173,61 @@ TEST(Supervisor, ParallelSlotsCompleteEveryJob)
         EXPECT_TRUE(outcomes[i].done);
         EXPECT_EQ(outcomes[i].payload, "p" + std::to_string(i));
     }
+}
+
+TEST(Supervisor, ThreadedFirstAttemptsEscalateRetriesToFork)
+{
+    auto cfg = quickConfig();
+    cfg.threads = 2;
+    SweepSupervisor sup(cfg);
+    // With --threads, attempt 1 runs on a pool thread in THIS
+    // process; only the retry of a transient failure pays for a
+    // crash-isolated forked child.
+    const pid_t parent = getpid();
+    auto outcomes = sup.run(
+        {job("flaky",
+             [parent](unsigned attempt) -> std::string {
+                 if (attempt < 2) {
+                     EXPECT_EQ(getpid(), parent);
+                     raiseError<WatchdogTimeout>("injected");
+                 }
+                 return getpid() == parent ? "in-parent@2"
+                                           : "forked@2";
+             }),
+         job("ok",
+             [parent](unsigned) -> std::string {
+                 return getpid() == parent ? "in-process" : "forked";
+             })},
+        nullptr);
+    ASSERT_EQ(outcomes.size(), 2u);
+    EXPECT_TRUE(outcomes[0].done);
+    EXPECT_EQ(outcomes[0].attempts, 2u);
+    EXPECT_EQ(outcomes[0].payload, "forked@2");
+    EXPECT_TRUE(outcomes[1].done);
+    EXPECT_EQ(outcomes[1].payload, "in-process");
+}
+
+TEST(Supervisor, ThreadedSimErrorFailureRecordMatchesForkMode)
+{
+    auto cfg = quickConfig();
+    cfg.threads = 2;
+    SweepSupervisor sup(cfg);
+    auto outcomes = sup.run(
+        {job("bad",
+             [](unsigned) -> std::string {
+                 raiseError<InputError>("injected");
+             }),
+         job("good", [](unsigned) { return "ok"; })},
+        nullptr);
+    EXPECT_FALSE(outcomes[0].done);
+    // The in-thread catch maps the exception to the taxonomy's exit
+    // code and classifies with classifyExitCode — identical class
+    // AND detail string to a forked child that _exits 10.
+    EXPECT_EQ(outcomes[0].failClass, "input");
+    EXPECT_EQ(outcomes[0].detail, "exit code 10");
+    EXPECT_EQ(outcomes[0].attempts, 1u);
+    // Quarantine is per job: the rest of the pool kept draining.
+    EXPECT_TRUE(outcomes[1].done);
 }
 
 TEST(Supervisor, JournalCommitsTransitionsAndResumeReplays)

@@ -3,18 +3,19 @@
 
 Usage:
     bench_compare.py BASELINE CURRENT [--threshold 0.10]
-                     [--min-ff-speedup X]
+                     [--min-ff-speedup X] [--min-thread-speedup X]
 
 Exits non-zero when any benchmark present in both files regressed by
-more than THRESHOLD (default 10%), or when --min-ff-speedup is given
-and the current report's derived ff_speedup_miss_heavy ratio is below
-X.
+more than THRESHOLD (default 10%), or when a --min-* gate is given
+and the current report's corresponding derived ratio is below X
+(--min-ff-speedup gates derived.ff_speedup_miss_heavy,
+--min-thread-speedup gates derived.thread_speedup_short_jobs).
 
 Raw items/sec values only compare meaningfully on the same machine
 and build type (the report embeds a machine fingerprint; a mismatch
 is reported as a warning, not a failure, so CI can still apply a
-generous threshold across runner generations). The ff-speedup ratio
-is a same-process on/off comparison and is machine-independent.
+generous threshold across runner generations). The derived ratios
+are same-machine A/B comparisons and are machine-independent.
 """
 
 import argparse
@@ -41,6 +42,9 @@ def main():
     ap.add_argument("--min-ff-speedup", type=float, default=None,
                     help="fail unless the current report's "
                          "ff_speedup_miss_heavy is at least this")
+    ap.add_argument("--min-thread-speedup", type=float, default=None,
+                    help="fail unless the current report's "
+                         "thread_speedup_short_jobs is at least this")
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -80,18 +84,23 @@ def main():
         print(f"  {name}: {old} -> {new} items/sec "
               f"({ratio:.2f}x) {verdict}")
 
-    if args.min_ff_speedup is not None:
-        speedup = cur.get("derived", {}).get("ff_speedup_miss_heavy")
-        if speedup is None:
-            print("FAIL: current report has no "
-                  "derived.ff_speedup_miss_heavy", file=sys.stderr)
-            failed = True
-        else:
-            ok = speedup >= args.min_ff_speedup
-            print(f"  ff_speedup_miss_heavy: {speedup:.2f}x "
-                  f"(required >= {args.min_ff_speedup:g}x) "
-                  f"{'ok' if ok else 'FAIL'}")
-            failed = failed or not ok
+    def check_min(key, minimum):
+        """Gate one derived ratio; returns True when it fails."""
+        if minimum is None:
+            return False
+        value = cur.get("derived", {}).get(key)
+        if value is None:
+            print(f"FAIL: current report has no derived.{key}",
+                  file=sys.stderr)
+            return True
+        ok = value >= minimum
+        print(f"  {key}: {value:.2f}x "
+              f"(required >= {minimum:g}x) {'ok' if ok else 'FAIL'}")
+        return not ok
+
+    failed |= check_min("ff_speedup_miss_heavy", args.min_ff_speedup)
+    failed |= check_min("thread_speedup_short_jobs",
+                        args.min_thread_speedup)
 
     if failed:
         print("bench_compare: FAILED", file=sys.stderr)

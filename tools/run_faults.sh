@@ -493,6 +493,96 @@ else
 fi
 stop_gateways
 
+# --- 8. in-process thread-pool executor fault scenarios -------------
+#
+# The threaded drain must uphold the same golden contract as fork
+# mode: an in-thread SimError quarantines only its job with the
+# fork-identical failure record, a SIGKILL mid-batch leaves only
+# expired leases behind (reclaimed at the same attempt), and a
+# graceful SIGTERM releases unstarted claims un-consumed — in every
+# recoverable case the final aggregate is byte-identical to the
+# reference.
+
+THR_ARGS="--pairs gcc:eon --levels 0,0.5 --retries 2 --backoff 0.1"
+
+# 8a. In-thread SimError quarantine: the injected InputError unwinds
+# inside a worker thread, is mapped to its exit code and quarantines
+# just that job; the drain finishes the other cells and reports the
+# fork-identical MISSING(input) marker with the partial exit code.
+q8a="$SCRATCH/thr_q_poison"
+poisonout="$SCRATCH/thr_poison.csv"
+timeout "$TIMEOUT_S" $SWEEP_ENV "$CLI" drain $THR_ARGS \
+    --queue "$q8a" --threads 2 --batch 2 \
+    --inject 'soe:gcc:eon:F=0.5@input@99' \
+    --deadline "$SWEEP_DEADLINE" --out "$poisonout" \
+    >/dev/null 2>&1
+got=$?
+if [ "$got" -ne 20 ]; then
+    fail "threaded poison: exit $got, expected 20 (partial)"
+elif ! grep -q 'MISSING(gcc:eon,F=0.5,input' "$poisonout"; then
+    fail "threaded poison: no MISSING(input) marker in CSV"
+    sed 's/^/    /' "$poisonout" >&2
+else
+    echo "ok: threaded in-thread SimError quarantines with" \
+         "fork-identical record"
+fi
+
+# 8b. SIGKILL mid-batch: the pool dies holding a batch of leases;
+# they expire and a fork-mode drain reclaims them at the same
+# attempt, reproducing the reference CSV exactly.
+q8b="$SCRATCH/thr_q_kill"
+timeout "$TIMEOUT_S" $SWEEP_ENV "$CLI" enqueue $THR_ARGS \
+    --queue "$q8b" >/dev/null 2>&1
+timeout "$TIMEOUT_S" $SWEEP_ENV "$CLI" serve $THR_ARGS \
+    --queue "$q8b" --threads 2 --batch 4 --lease 3 \
+    --deadline "$SWEEP_DEADLINE" >/dev/null 2>&1 &
+serve_pid=$!
+sleep 1
+kill -9 "$serve_pid" 2>/dev/null
+wait "$serve_pid" 2>/dev/null
+thrkill="$SCRATCH/thr_kill.csv"
+if ! timeout "$TIMEOUT_S" $SWEEP_ENV "$CLI" drain $THR_ARGS \
+        --queue "$q8b" --lease 3 --deadline "$SWEEP_DEADLINE" \
+        --out "$thrkill" >/dev/null 2>&1; then
+    fail "threaded kill: drain after SIGKILL exited nonzero"
+elif ! cmp -s "$svcref" "$thrkill"; then
+    fail "threaded kill: CSV differs from reference"
+    diff "$svcref" "$thrkill" | sed 's/^/    /' >&2
+else
+    echo "ok: fork drain after SIGKILLed thread pool matches reference"
+fi
+
+# 8c. Graceful SIGTERM: the pool finishes the jobs already running,
+# releases every unstarted claim un-consumed and exits 0; a
+# follow-up threaded drain reruns the released jobs at attempt 1 and
+# matches the reference byte-for-byte.
+q8c="$SCRATCH/thr_q_term"
+timeout "$TIMEOUT_S" $SWEEP_ENV "$CLI" enqueue $THR_ARGS \
+    --queue "$q8c" >/dev/null 2>&1
+timeout "$TIMEOUT_S" $SWEEP_ENV "$CLI" serve $THR_ARGS \
+    --queue "$q8c" --threads 1 --batch 8 \
+    --deadline "$SWEEP_DEADLINE" >/dev/null 2>&1 &
+serve_pid=$!
+sleep 1
+kill -TERM "$serve_pid" 2>/dev/null
+wait "$serve_pid"
+got=$?
+if [ "$got" -ne 0 ]; then
+    fail "threaded sigterm: serve exited $got after SIGTERM, expected 0"
+fi
+thrterm="$SCRATCH/thr_term.csv"
+if ! timeout "$TIMEOUT_S" $SWEEP_ENV "$CLI" drain $THR_ARGS \
+        --queue "$q8c" --threads 2 --batch 2 \
+        --deadline "$SWEEP_DEADLINE" --out "$thrterm" \
+        >/dev/null 2>&1; then
+    fail "threaded sigterm: follow-up drain exited nonzero"
+elif ! cmp -s "$svcref" "$thrterm"; then
+    fail "threaded sigterm: CSV differs from reference"
+    diff "$svcref" "$thrterm" | sed 's/^/    /' >&2
+else
+    echo "ok: threaded SIGTERM drain is graceful and resumable"
+fi
+
 # --------------------------------------------------------------------
 
 if [ "$failures" -ne 0 ]; then

@@ -82,8 +82,14 @@
  *   --resume F        resume from an existing journal: completed
  *                     jobs are replayed, the rest re-run
  *   --jobs N          parallel forked job slots (default 1)
+ *   --threads N       in-process worker threads (default 0 = fork
+ *                     only): first attempts run on a thread pool,
+ *                     retries escalate to the fork loop; output is
+ *                     byte-identical to fork mode
  *   --deadline S      per-attempt wall-clock deadline in seconds;
- *                     expired jobs are SIGKILLed (default 600)
+ *                     expired jobs are SIGKILLed (default 600;
+ *                     fork attempts only — threaded attempts rely
+ *                     on the simulated-time watchdog)
  *   --retries N       max attempts per transiently-failing job (3)
  *   --backoff S       base retry backoff in seconds (default 0.25)
  *   --inject SPEC     test hook: job@action[@maxAttempt] provokes
@@ -103,8 +109,10 @@
  *   --heartbeat S     lease renewal interval (default lease/3)
  *   --poll S          idle poll interval while other workers hold
  *                     live leases (default 0.5)
- *   plus sweep's --jobs / --deadline / --retries / --backoff /
- *   --inject, which apply to the worker loop
+ *   --batch K         jobs claimed per flock round by each worker
+ *                     thread (default 4; only with --threads)
+ *   plus sweep's --jobs / --threads / --deadline / --retries /
+ *   --backoff / --inject, which apply to the worker loop
  *
  * run-soe options:
  *   --policy P        miss-only | fairness | timeshare | quota
@@ -479,6 +487,7 @@ cmdSweep(const CliOptions &opts)
     scfg.maxAttempts = unsigned(opts.getUint("retries", 3));
     scfg.backoffBaseSeconds = opts.getDouble("backoff", 0.25);
     scfg.jobSlots = unsigned(opts.getUint("jobs", 1));
+    scfg.threads = unsigned(opts.getUint("threads", 0));
     scfg.progress = &std::cerr;
 
     const bool resume = opts.hasOption("resume");
@@ -538,6 +547,8 @@ serviceConfigFrom(const CliOptions &opts, service::ServiceConfig &cfg)
     cfg.maxAttempts = unsigned(opts.getUint("retries", 3));
     cfg.backoffBaseSeconds = opts.getDouble("backoff", 0.25);
     cfg.slots = unsigned(opts.getUint("jobs", 1));
+    cfg.threads = unsigned(opts.getUint("threads", 0));
+    cfg.batch = unsigned(opts.getUint("batch", 4));
     cfg.capacity = unsigned(opts.getUint("capacity", 0));
     cfg.pollSeconds = opts.getDouble("poll", 0.5);
     cfg.progress = &std::cerr;
